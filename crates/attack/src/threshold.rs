@@ -1,0 +1,74 @@
+//! Threshold learning (§VII-B).
+//!
+//! "If the attacker is not able to evaluate the threshold on a fully
+//! controlled device, then `Tns_threshold` needs to be learned from the
+//! victim directly. The attacker needs to run multi-threads Time Reporter
+//! and Time Comparer for a relatively long time (e.g., one hour) to study
+//! how the threshold varies." The learned threshold is the largest observed
+//! baseline staleness times a safety margin; too low causes false positives
+//! (wasted hides), too high delays detection and loses the race.
+
+use crate::prober::{probing_threshold_campaign, ProbeTargets};
+use satin_sim::SimDuration;
+
+/// Learns a detection threshold from observed per-round maxima: the largest
+/// observation scaled by `safety_margin`.
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `safety_margin < 1.0` (a margin below 1 guarantees false
+/// positives on the training data itself).
+pub fn learn_threshold(round_maxima: &[f64], safety_margin: f64) -> Option<f64> {
+    assert!(safety_margin >= 1.0, "safety margin must be >= 1.0");
+    round_maxima
+        .iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+        .map(|m| m * safety_margin)
+}
+
+/// Runs a full on-victim learning campaign: `rounds` rounds of `period`
+/// probing, then applies the safety margin. Returns the threshold in
+/// seconds.
+pub fn learn_on_victim(
+    seed: u64,
+    period: SimDuration,
+    rounds: usize,
+    safety_margin: f64,
+) -> Option<f64> {
+    let maxima = probing_threshold_campaign(seed, period, rounds, ProbeTargets::AllCores);
+    learn_threshold(&maxima, safety_margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_learns_nothing() {
+        assert_eq!(learn_threshold(&[], 1.5), None);
+    }
+
+    #[test]
+    fn learns_scaled_max() {
+        let th = learn_threshold(&[1e-4, 3e-4, 2e-4], 2.0).unwrap();
+        assert!((th - 6e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "safety margin")]
+    fn rejects_sub_unity_margin() {
+        learn_threshold(&[1e-4], 0.5);
+    }
+
+    #[test]
+    fn victim_learning_produces_usable_threshold() {
+        // Short campaign; the learned threshold must be in the plausible
+        // band between the baseline cadence and the paper's 1.8e-3 regime.
+        let th = learn_on_victim(11, SimDuration::from_millis(100), 3, 1.5).unwrap();
+        assert!(th > 1e-4, "threshold {th} too small");
+        assert!(th < 4e-3, "threshold {th} too large");
+    }
+}

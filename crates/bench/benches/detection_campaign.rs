@@ -1,0 +1,24 @@
+//! Criterion bench for the §VI-B1 harness: a short SATIN-vs-TZ-Evader
+//! campaign (19 rounds at tp = 0.5 s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satin_bench::detection::{run, DetectionConfig};
+use satin_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection");
+    g.sample_size(10);
+    g.bench_function("19_rounds_tp_500ms", |b| {
+        b.iter(|| {
+            run(DetectionConfig {
+                rounds: 19,
+                tgoal: SimDuration::from_millis(9_500),
+                seed: 3,
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the substrate the experiments stand on: hash
+//! throughput (the quantity Table I models), scan-window resolution (the
+//! TOCTTOU race kernel), event-queue and scheduler hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use satin_hash::{hash_bytes, HashAlgorithm};
+use satin_kernel::{Affinity, KernelConfig, SchedClass, Scheduler, TaskState};
+use satin_mem::{MemRange, PhysAddr, ScanWindow};
+use satin_sim::{SimDuration, SimTime, Simulator};
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1 << 20];
+    let mut g = c.benchmark_group("hash_1mib");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for alg in HashAlgorithm::ALL {
+        g.bench_function(alg.name(), |b| {
+            b.iter(|| hash_bytes(alg, std::hint::black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_window(c: &mut Criterion) {
+    let len = 512 * 1024u64;
+    c.bench_function("scan_window_resolve_512k_100_writes", |b| {
+        b.iter_batched(
+            || {
+                let mut w = ScanWindow::begin(
+                    MemRange::new(PhysAddr::new(0), len),
+                    SimTime::ZERO,
+                    1e-8,
+                    vec![0u8; len as usize],
+                );
+                for i in 0..100u64 {
+                    w.note_write(
+                        SimTime::from_nanos(i * 50),
+                        PhysAddr::new((i * 4099) % len),
+                        &[i as u8; 8],
+                    );
+                }
+                w
+            },
+            |w| w.into_observed(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("simulator_10k_events", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u32> = Simulator::new();
+            for i in 0..10_000u64 {
+                sim.schedule_at(SimTime::from_nanos(i * 37 % 9_999), i as u32);
+            }
+            let mut n = 0u32;
+            while sim.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler_wake_pick_stop_cycle", |b| {
+        let mut s = Scheduler::new(6, KernelConfig::lsk_4_4());
+        let tasks: Vec<_> = (0..32)
+            .map(|i| s.spawn(format!("t{i}"), SchedClass::cfs(), Affinity::any(6)))
+            .collect();
+        b.iter(|| {
+            for &t in &tasks {
+                s.wake(t);
+            }
+            for i in 0..6 {
+                let core = satin_hw::CoreId::new(i);
+                while let Some(t) = s.pick_next(core) {
+                    s.start_running(core, t);
+                    s.stop_running(core, t, SimDuration::from_micros(10), TaskState::Blocked);
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_scan_window,
+    bench_event_queue,
+    bench_scheduler
+);
+criterion_main!(benches);

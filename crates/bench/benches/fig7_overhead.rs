@@ -1,0 +1,29 @@
+//! Criterion bench for the Figure 7 harness: one workload run with and
+//! without SATIN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satin_core::SatinConfig;
+use satin_sim::SimDuration;
+use satin_workload::{runner::run_single, unixbench_suite};
+
+fn bench(c: &mut Criterion) {
+    let suite = unixbench_suite();
+    let w = suite
+        .iter()
+        .find(|w| w.name == "file copy 256B")
+        .expect("workload present");
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("file_copy_256B_10s_off", |b| {
+        b.iter(|| run_single(w, 1, SimDuration::from_secs(10), None, 5))
+    });
+    g.bench_function("file_copy_256B_10s_on", |b| {
+        let mut cfg = SatinConfig::paper();
+        cfg.tgoal = SimDuration::from_secs(19);
+        b.iter(|| run_single(w, 1, SimDuration::from_secs(10), Some(cfg), 5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

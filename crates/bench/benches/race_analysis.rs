@@ -1,0 +1,26 @@
+//! Criterion bench for the §IV-C analytics and the Equation 1 sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satin_attack::race::RaceParams;
+use satin_bench::race;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("race_params_analysis", |b| {
+        b.iter(|| {
+            let p = RaceParams::paper_worst_case();
+            (
+                p.protected_prefix_bytes(),
+                p.unprotected_fraction(satin_mem::PAPER_KERNEL_SIZE),
+            )
+        })
+    });
+    let mut g = c.benchmark_group("race_sweep");
+    g.sample_size(10);
+    g.bench_function("equation1_3_offsets", |b| {
+        b.iter(|| race::equation1_sweep(&[0, 1_000_000, 2_000_000], 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Table I harness: one full-kernel introspection
+//! round per (core kind, strategy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satin_bench::table1;
+use satin_hw::timing::ScanStrategy;
+use satin_hw::CoreKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for kind in [CoreKind::A53, CoreKind::A57] {
+        for strategy in ScanStrategy::ALL {
+            g.bench_function(format!("{kind}-{strategy}-3rounds"), |b| {
+                b.iter(|| table1::measure_cell(kind, strategy, 3, 42))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

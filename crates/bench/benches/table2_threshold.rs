@@ -1,0 +1,30 @@
+//! Criterion bench for the Table II harness: one probing-threshold round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satin_attack::prober::{measure_round, ProbeTargets};
+use satin_hw::CoreId;
+use satin_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("all_cores_500ms_round", |b| {
+        b.iter(|| measure_round(7, SimDuration::from_millis(500), ProbeTargets::AllCores))
+    });
+    g.bench_function("single_core_500ms_round", |b| {
+        b.iter(|| {
+            measure_round(
+                7,
+                SimDuration::from_millis(500),
+                ProbeTargets::Single {
+                    target: CoreId::new(3),
+                    observer: CoreId::new(0),
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

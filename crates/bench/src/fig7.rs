@@ -1,0 +1,67 @@
+//! Figure 7 — SATIN overhead on UnixBench-like workloads.
+//!
+//! Paper: enabling SATIN's self activation across all cores costs 0.711%
+//! (1-task) and 0.848% (6-task) on average; the worst-degraded benchmarks
+//! are `file copy 256B` (3.556%) and `pipe-based context switching`
+//! (3.912%). We regenerate the study with the simulated UnixBench suite.
+
+use satin_sim::SimDuration;
+use satin_workload::{run_overhead_study, unixbench_suite, OverheadConfig, OverheadReport};
+
+/// Runs the Figure 7 study for one task count.
+///
+/// `duration_secs` controls how long each benchmark runs (longer = more
+/// introspection rounds sampled = tighter estimates; the repro binary uses
+/// 600 s, tests use less).
+pub fn run(tasks: usize, duration_secs: u64, seed: u64) -> OverheadReport {
+    let mut config = OverheadConfig::paper(tasks, seed);
+    config.duration = SimDuration::from_secs(duration_secs);
+    run_overhead_study(&unixbench_suite(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_figure7() {
+        // 240 s per run (30 rounds at tp = 8s): enough to see the shape.
+        let report = run(1, 240, 51);
+        let mean = report.mean_degradation();
+        // Paper: 0.711% (1-task). Accept the right order of magnitude.
+        assert!(
+            (0.001..0.03).contains(&mean),
+            "mean degradation {mean} out of band"
+        );
+        // Worst offenders are the paper's worst offenders.
+        let worst = report.worst().unwrap();
+        assert!(
+            worst.name == "pipe-based context switching" || worst.name == "file copy 256B",
+            "worst was {}",
+            worst.name
+        );
+        // The compute kernels barely notice.
+        let dhry = report
+            .rows
+            .iter()
+            .find(|r| r.name == "dhrystone 2")
+            .unwrap();
+        assert!(
+            dhry.degradation() < worst.degradation() / 3.0,
+            "dhrystone {} vs worst {}",
+            dhry.degradation(),
+            worst.degradation()
+        );
+    }
+
+    #[test]
+    fn six_task_study_runs() {
+        // Reduced suite for test time; full suite in the repro binary.
+        let suite: Vec<_> = unixbench_suite().into_iter().take(4).collect();
+        let mut config = OverheadConfig::paper(6, 52);
+        config.duration = SimDuration::from_secs(120);
+        let report = run_overhead_study(&suite, config);
+        assert_eq!(report.tasks, 6);
+        assert!(report.rows.iter().all(|r| r.score_on <= r.score_off * 1.01));
+    }
+}

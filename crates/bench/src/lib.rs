@@ -1,0 +1,33 @@
+//! Experiment harness regenerating every table and figure of the SATIN
+//! paper (DSN 2019).
+//!
+//! Each module regenerates one published result; the `repro` binary prints
+//! them in the paper's format. See `DESIGN.md`'s per-experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers.
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`table1`] | Table I — secure-world introspection time per byte |
+//! | [`switch`] | §IV-B1 — world-switch latency `Ts_switch` |
+//! | [`recover`] | §IV-B2 — trace-recovery time `Tns_recover` |
+//! | [`table2`] | Table II / Figure 4 — probing thresholds vs period |
+//! | [`race`] | §IV-C / Figure 3 — race-condition bound and timeline |
+//! | [`detection`] | §VI-B1 — SATIN vs TZ-Evader detection campaign |
+//! | [`fig7`] | Figure 7 — UnixBench overhead, 1-task and 6-task |
+//! | [`ablation`] | Baseline comparisons and design-choice sweeps |
+//! | [`userprober`] | §III-B1 — user-level prober capability and load sensitivity |
+
+pub mod ablation;
+pub mod detection;
+pub mod fig7;
+pub mod race;
+pub mod recover;
+pub mod switch;
+pub mod table1;
+pub mod table2;
+pub mod threshold_sweep;
+pub mod userprober;
+
+/// Default master seed for all experiments (override per run for variance
+/// studies).
+pub const DEFAULT_SEED: u64 = 0x5a71_2019;

@@ -1,0 +1,63 @@
+//! SATIN configuration errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating a SATIN configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SatinError {
+    /// An introspection area exceeds the safety bound of §V-B, re-opening
+    /// the evasion window within that area.
+    AreaTooLarge {
+        /// The offending area id.
+        area: usize,
+        /// Its size in bytes.
+        size: u64,
+        /// The maximum safe size.
+        bound: u64,
+    },
+    /// The plan has no areas.
+    EmptyPlan,
+    /// `Tgoal` is too small to cover all areas even back-to-back.
+    InfeasibleGoal {
+        /// Requested coverage period in seconds.
+        tgoal_secs: f64,
+        /// Number of areas that must fit into it.
+        areas: usize,
+    },
+}
+
+impl fmt::Display for SatinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatinError::AreaTooLarge { area, size, bound } => write!(
+                f,
+                "area {area} is {size} bytes, above the safe bound of {bound} bytes"
+            ),
+            SatinError::EmptyPlan => write!(f, "area plan has no areas"),
+            SatinError::InfeasibleGoal { tgoal_secs, areas } => write!(
+                f,
+                "coverage goal of {tgoal_secs}s cannot fit {areas} areas"
+            ),
+        }
+    }
+}
+
+impl Error for SatinError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SatinError::AreaTooLarge {
+            area: 3,
+            size: 2_000_000,
+            bound: 1_218_351,
+        };
+        assert!(e.to_string().contains("1218351"));
+        assert!(SatinError::EmptyPlan.to_string().contains("no areas"));
+    }
+}

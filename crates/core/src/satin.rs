@@ -1,0 +1,536 @@
+//! The assembled SATIN secure service.
+
+use crate::activation::WakePolicy;
+use crate::areas::{max_safe_area_size, AreaPlan, KernelAreaSet};
+use crate::error::SatinError;
+use crate::integrity::{Alarm, AreaCoverage, IntegrityChecker};
+use crate::queue::WakeQueue;
+use satin_hash::HashAlgorithm;
+use satin_hw::timing::ScanStrategy;
+use satin_hw::{CoreId, TimingModel, World};
+use satin_mem::KernelLayout;
+use satin_secure::SecureStorage;
+use satin_sim::{SimDuration, SimTime};
+use satin_system::{BootCtx, ScanRequest, SecureCtx, SecureService};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which cores perform introspection rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorePolicy {
+    /// Every core takes turns in a random, queue-coordinated order (§V-D) —
+    /// the design the paper adopts.
+    AllRandom,
+    /// Only one fixed core introspects — the predictable-affinity ablation
+    /// that §IV-B2 shows is ~4× easier to probe.
+    Fixed(CoreId),
+}
+
+/// How the kernel is divided into areas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AreaPolicy {
+    /// One area per `System.map` segment (the paper's 19 areas).
+    Segments,
+    /// Greedy packing under an explicit bound (ablation).
+    Greedy {
+        /// Maximum area size in bytes.
+        max_size: u64,
+    },
+    /// One monolithic area (the insecure baseline; fails safety validation).
+    Monolithic,
+}
+
+/// SATIN configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatinConfig {
+    /// Full-coverage goal `Tgoal`; `tp = Tgoal / m` (§V-C).
+    pub tgoal: SimDuration,
+    /// Digest algorithm (djb2 in the paper).
+    pub algorithm: HashAlgorithm,
+    /// Scan strategy (direct hash in the paper; Table I's comparison).
+    pub strategy: ScanStrategy,
+    /// Randomize wake intervals with `td ∈ [−tp, tp]`?
+    pub randomize_wake: bool,
+    /// Core selection policy.
+    pub core_policy: CorePolicy,
+    /// Area division policy.
+    pub area_policy: AreaPolicy,
+    /// Assumed attacker probing delay `Tns_delay` for the safety bound
+    /// (the paper uses `Tns_sched + Tns_threshold = 2e-4 + 1.8e-3`).
+    pub tns_delay_secs: f64,
+    /// Refuse to boot if any area exceeds the safety bound.
+    pub enforce_safety: bool,
+    /// On an alarm, repair the tampered area's invariant sections from a
+    /// boot-time golden copy (an RKP-style extension beyond the paper's
+    /// report-only SATIN; costs ~3.5 MB of secure memory).
+    pub remediate: bool,
+}
+
+impl SatinConfig {
+    /// The paper's evaluated configuration: `Tgoal = 152 s` (tp = 8 s over
+    /// 19 areas), djb2, direct hash, randomized wake, all cores.
+    pub fn paper() -> Self {
+        SatinConfig {
+            tgoal: SimDuration::from_secs(152),
+            algorithm: HashAlgorithm::Djb2,
+            strategy: ScanStrategy::DirectHash,
+            randomize_wake: true,
+            core_policy: CorePolicy::AllRandom,
+            area_policy: AreaPolicy::Segments,
+            tns_delay_secs: 2e-4 + 1.8e-3,
+            enforce_safety: true,
+            remediate: false,
+        }
+    }
+
+    /// Builds the area plan this configuration implies for `layout`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SatinError`] from greedy packing.
+    pub fn build_plan(&self, layout: &KernelLayout) -> Result<AreaPlan, SatinError> {
+        match self.area_policy {
+            AreaPolicy::Segments => Ok(AreaPlan::from_segments(layout)),
+            AreaPolicy::Greedy { max_size } => AreaPlan::greedy(layout, max_size),
+            AreaPolicy::Monolithic => Ok(AreaPlan::monolithic(layout)),
+        }
+    }
+
+    /// Validates the configuration against a layout and timing model
+    /// without building the service.
+    ///
+    /// # Errors
+    ///
+    /// [`SatinError`] describing the violated constraint.
+    pub fn validate(&self, layout: &KernelLayout, timing: &TimingModel) -> Result<(), SatinError> {
+        let plan = self.build_plan(layout)?;
+        if self.enforce_safety {
+            let bound = max_safe_area_size(timing, self.tns_delay_secs);
+            plan.validate(bound)?;
+        } else if plan.is_empty() {
+            return Err(SatinError::EmptyPlan);
+        }
+        Ok(())
+    }
+}
+
+/// One completed introspection round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// When the round's secure timer fired (round start).
+    pub fired: SimTime,
+    /// When the round's verification completed.
+    pub at: SimTime,
+    /// The core that performed it.
+    pub core: CoreId,
+    /// The scanned area.
+    pub area: usize,
+    /// Whether the area was found tampered.
+    pub tampered: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    plan: Option<AreaPlan>,
+    checker: Option<IntegrityChecker>,
+    set: Option<KernelAreaSet>,
+    queue: Option<SecureStorage<WakeQueue>>,
+    policy: Option<WakePolicy>,
+    rounds: Vec<RoundRecord>,
+    golden: Option<crate::golden::GoldenStore>,
+    repairs: u64,
+}
+
+/// Inspection handle shared with experiment code.
+#[derive(Debug, Clone)]
+pub struct SatinHandle {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SatinHandle {
+    /// All completed rounds, in time order.
+    pub fn rounds(&self) -> Vec<RoundRecord> {
+        self.inner.borrow().rounds.clone()
+    }
+
+    /// Number of completed rounds.
+    pub fn round_count(&self) -> usize {
+        self.inner.borrow().rounds.len()
+    }
+
+    /// All raised alarms.
+    pub fn alarms(&self) -> Vec<Alarm> {
+        self.inner
+            .borrow()
+            .checker
+            .as_ref()
+            .map(|c| c.alarms().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Complete kernel sweeps so far.
+    pub fn full_sweeps(&self) -> u64 {
+        self.inner
+            .borrow()
+            .checker
+            .as_ref()
+            .map(|c| c.full_sweeps())
+            .unwrap_or(0)
+    }
+
+    /// Coverage of one area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if SATIN has not booted or `area` is out of range.
+    pub fn coverage(&self, area: usize) -> AreaCoverage {
+        self.inner
+            .borrow()
+            .checker
+            .as_ref()
+            .expect("SATIN booted")
+            .coverage(area)
+    }
+
+    /// Mean gap between consecutive checks of `area`, seconds.
+    pub fn mean_check_gap_secs(&self, area: usize) -> Option<f64> {
+        self.inner
+            .borrow()
+            .checker
+            .as_ref()
+            .and_then(|c| c.mean_check_gap_secs(area))
+    }
+
+    /// Remediation writes performed (0 unless `remediate` is enabled).
+    pub fn repairs(&self) -> u64 {
+        self.inner.borrow().repairs
+    }
+
+    /// Number of areas in the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if SATIN has not booted.
+    pub fn num_areas(&self) -> usize {
+        self.inner
+            .borrow()
+            .plan
+            .as_ref()
+            .expect("SATIN booted")
+            .len()
+    }
+}
+
+/// The SATIN secure service. Install with
+/// [`satin_system::System::install_secure_service`].
+#[derive(Debug)]
+pub struct Satin {
+    config: SatinConfig,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Satin {
+    /// Creates the service and its inspection handle.
+    pub fn new(config: SatinConfig) -> (Satin, SatinHandle) {
+        let inner = Rc::new(RefCell::new(Inner {
+            plan: None,
+            checker: None,
+            set: None,
+            queue: None,
+            policy: None,
+            rounds: Vec::new(),
+            golden: None,
+            repairs: 0,
+        }));
+        (
+            Satin {
+                config,
+                inner: inner.clone(),
+            },
+            SatinHandle { inner },
+        )
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SatinConfig {
+        &self.config
+    }
+}
+
+impl SecureService for Satin {
+    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
+        let plan = self
+            .config
+            .build_plan(ctx.layout())
+            .expect("SATIN area plan construction failed");
+        if self.config.enforce_safety {
+            let bound = max_safe_area_size(ctx.timing(), self.config.tns_delay_secs);
+            plan.validate(bound)
+                .expect("SATIN configuration violates the §V-B area-size safety bound");
+        }
+        let checker = IntegrityChecker::measure_at_boot(ctx.mem(), &plan, self.config.algorithm)
+            .expect("boot-time measurement failed");
+        let policy = WakePolicy::from_goal(self.config.tgoal, plan.len(), self.config.randomize_wake);
+
+        // Initial wake sequence (trusted boot): one slot per participating
+        // core, assigned in a random order the normal world never sees.
+        let participants: Vec<CoreId> = match self.config.core_policy {
+            CorePolicy::AllRandom => (0..ctx.num_cores()).map(CoreId::new).collect(),
+            CorePolicy::Fixed(core) => vec![core],
+        };
+        let mut queue = WakeQueue::new(SimTime::ZERO, participants.len(), &policy, ctx.rng());
+        let mut order = participants.clone();
+        ctx.rng().shuffle(&mut order);
+        for core in order {
+            let at = queue.extract(SimTime::ZERO, &policy, ctx.rng());
+            ctx.arm_core(core, at).expect("participant core exists");
+        }
+
+        let golden = if self.config.remediate {
+            Some(
+                crate::golden::GoldenStore::capture_at_boot(ctx.layout(), ctx.mem())
+                    .expect("golden capture at boot"),
+            )
+        } else {
+            None
+        };
+
+        let mut inner = self.inner.borrow_mut();
+        inner.set = Some(KernelAreaSet::new(plan.len()));
+        inner.plan = Some(plan);
+        inner.checker = Some(checker);
+        inner.policy = Some(policy);
+        inner.queue = Some(SecureStorage::new("wake-up time queue", queue));
+        inner.golden = golden;
+    }
+
+    fn on_secure_timer(&mut self, _core: CoreId, ctx: &mut SecureCtx<'_>) -> Option<ScanRequest> {
+        let mut inner = self.inner.borrow_mut();
+        let Inner {
+            plan: Some(plan),
+            set: Some(set),
+            ..
+        } = &mut *inner
+        else {
+            return None;
+        };
+        let area_id = set.pick(ctx.rng());
+        let range = plan.area(area_id).range;
+        Some(ScanRequest {
+            area_id,
+            range,
+            strategy: self.config.strategy,
+        })
+    }
+
+    fn on_scan_result(
+        &mut self,
+        core: CoreId,
+        request: &ScanRequest,
+        observed: &[u8],
+        ctx: &mut SecureCtx<'_>,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        let now = ctx.now();
+        let outcome = inner
+            .checker
+            .as_mut()
+            .expect("SATIN booted")
+            .check_round(now, core, request.area_id, observed);
+        if outcome.is_tampered() {
+            ctx.trace(
+                "satin.alarm",
+                format!("area {} tampered on {core}", request.area_id),
+            );
+            // Remediation (extension): write the golden invariant bytes back
+            // over the tampered area, from the secure world.
+            if let Some(golden) = inner.golden.as_ref() {
+                let mut n = 0u64;
+                for (range, bytes) in golden.repairs_for(request.range) {
+                    ctx.repair_normal_memory(range.start(), &bytes)
+                        .expect("repair range inside memory");
+                    n += 1;
+                }
+                inner.repairs += n;
+            }
+        }
+        inner.rounds.push(RoundRecord {
+            fired: ctx.fired(),
+            at: now,
+            core,
+            area: request.area_id,
+            tampered: outcome.is_tampered(),
+        });
+        // Self activation: take the next wake time from the secure queue and
+        // arm this core's own timer.
+        let policy = *inner.policy.as_ref().expect("SATIN booted");
+        let queue = inner
+            .queue
+            .as_mut()
+            .expect("SATIN booted")
+            .write(World::Secure)
+            .expect("secure world access");
+        let next = queue.extract(now, &policy, ctx.rng());
+        drop(inner);
+        ctx.arm_self(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satin_system::SystemBuilder;
+
+    #[test]
+    fn validates_paper_config() {
+        let layout = KernelLayout::paper();
+        let timing = TimingModel::paper_calibrated();
+        SatinConfig::paper().validate(&layout, &timing).unwrap();
+        // The monolithic ablation must fail the safety check.
+        let mut bad = SatinConfig::paper();
+        bad.area_policy = AreaPolicy::Monolithic;
+        assert!(matches!(
+            bad.validate(&layout, &timing),
+            Err(SatinError::AreaTooLarge { .. })
+        ));
+        // …unless safety enforcement is disabled (for ablation runs).
+        bad.enforce_safety = false;
+        bad.validate(&layout, &timing).unwrap();
+    }
+
+    #[test]
+    fn boots_and_runs_rounds() {
+        // Short Tgoal so a few rounds fit in a short test run.
+        let mut config = SatinConfig::paper();
+        config.tgoal = SimDuration::from_millis(1900); // tp = 100 ms
+        let mut sys = SystemBuilder::new().seed(31).trace(false).build();
+        let (satin, handle) = Satin::new(config);
+        sys.install_secure_service(satin);
+        sys.run_until(SimTime::from_secs(2));
+        let rounds = handle.round_count();
+        // ≈ 2s / 100ms = 20 rounds expected.
+        assert!((10..=35).contains(&rounds), "rounds = {rounds}");
+        // No tampering: no alarms.
+        assert!(handle.alarms().is_empty());
+        assert!(handle.rounds().iter().all(|r| !r.tampered));
+        assert_eq!(handle.num_areas(), 19);
+    }
+
+    #[test]
+    fn rounds_rotate_cores_and_areas() {
+        let mut config = SatinConfig::paper();
+        config.tgoal = SimDuration::from_millis(950); // tp = 50 ms
+        let mut sys = SystemBuilder::new().seed(33).trace(false).build();
+        let (satin, handle) = Satin::new(config);
+        sys.install_secure_service(satin);
+        sys.run_until(SimTime::from_secs(4));
+        let rounds = handle.rounds();
+        assert!(rounds.len() >= 19, "{} rounds", rounds.len());
+        // Multiple distinct cores participate.
+        let mut cores: Vec<usize> = rounds.iter().map(|r| r.core.index()).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert!(cores.len() >= 3, "only cores {cores:?} participated");
+        // The first 19 rounds cover all 19 areas exactly once (epoch).
+        let mut first: Vec<usize> = rounds.iter().take(19).map(|r| r.area).collect();
+        first.sort_unstable();
+        assert_eq!(first, (0..19).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fixed_core_policy_stays_on_one_core() {
+        let mut config = SatinConfig::paper();
+        config.tgoal = SimDuration::from_millis(950);
+        config.core_policy = CorePolicy::Fixed(CoreId::new(1));
+        let mut sys = SystemBuilder::new().seed(35).trace(false).build();
+        let (satin, handle) = Satin::new(satin_cfg(config));
+        sys.install_secure_service(satin);
+        sys.run_until(SimTime::from_secs(2));
+        let rounds = handle.rounds();
+        assert!(!rounds.is_empty());
+        assert!(rounds.iter().all(|r| r.core == CoreId::new(1)));
+    }
+
+    fn satin_cfg(c: SatinConfig) -> SatinConfig {
+        c
+    }
+
+    #[test]
+    fn detects_boot_time_tampering_installed_later() {
+        // A hijack installed after boot is caught on the next area-14 round.
+        let mut config = SatinConfig::paper();
+        config.tgoal = SimDuration::from_millis(1900);
+        let mut sys = SystemBuilder::new().seed(37).trace(false).build();
+        let (satin, handle) = Satin::new(config);
+        sys.install_secure_service(satin);
+        // Tamper directly (no evader: the write persists).
+        let addr = sys.layout().syscall_entry_addr(satin_mem::layout::GETTID_NR);
+        let evil = satin_mem::image::hijacked_entry_bytes(sys.layout(), 2);
+        sys.mem_mut().write_unchecked(addr, &evil).unwrap();
+        sys.run_until(SimTime::from_secs(3));
+        let alarms = handle.alarms();
+        assert!(!alarms.is_empty(), "persistent hijack not detected");
+        assert!(alarms
+            .iter()
+            .all(|a| a.area == satin_mem::PAPER_SYSCALL_AREA));
+        assert!(handle.coverage(satin_mem::PAPER_SYSCALL_AREA).tampered >= 1);
+    }
+}
+
+#[cfg(test)]
+mod remediation_tests {
+    use super::*;
+    use satin_system::SystemBuilder;
+
+    #[test]
+    fn remediation_repairs_a_persistent_hijack() {
+        let mut config = SatinConfig::paper();
+        config.tgoal = SimDuration::from_millis(1900); // tp = 100 ms
+        config.remediate = true;
+        let mut sys = SystemBuilder::new().seed(55).trace(false).build();
+        let (satin, handle) = Satin::new(config);
+        sys.install_secure_service(satin);
+        // A dumb persistent hijack (no evasion, never restored by the
+        // attacker).
+        let addr = sys.layout().syscall_entry_addr(satin_mem::layout::GETTID_NR);
+        let evil = satin_mem::image::hijacked_entry_bytes(sys.layout(), 4);
+        sys.mem_mut().write_unchecked(addr, &evil).unwrap();
+        sys.run_until(SimTime::from_secs(6));
+
+        // The first area-14 round raised an alarm AND repaired the table…
+        assert!(!handle.alarms().is_empty());
+        assert!(handle.repairs() >= 1, "no repair happened");
+        assert!(sys.stats().secure_repairs >= 1);
+        let ptr = sys.mem().read_u64(addr).unwrap();
+        assert_eq!(
+            Some(ptr),
+            sys.stats().genuine_syscall(satin_mem::layout::GETTID_NR),
+            "table not restored"
+        );
+        // …and subsequent area-14 rounds are clean (exactly one alarm).
+        assert_eq!(
+            handle.alarms().len(),
+            1,
+            "repair should stop repeated alarms for a non-reinstalling attack"
+        );
+    }
+
+    #[test]
+    fn report_only_mode_keeps_alarming() {
+        let mut config = SatinConfig::paper();
+        config.tgoal = SimDuration::from_millis(1900);
+        config.remediate = false; // the paper's SATIN
+        let mut sys = SystemBuilder::new().seed(55).trace(false).build();
+        let (satin, handle) = Satin::new(config);
+        sys.install_secure_service(satin);
+        let addr = sys.layout().syscall_entry_addr(satin_mem::layout::GETTID_NR);
+        let evil = satin_mem::image::hijacked_entry_bytes(sys.layout(), 4);
+        sys.mem_mut().write_unchecked(addr, &evil).unwrap();
+        sys.run_until(SimTime::from_secs(6));
+        assert!(handle.alarms().len() >= 2, "persistent hijack alarms repeat");
+        assert_eq!(handle.repairs(), 0);
+        // The hijack is still in place: report-only.
+        let ptr = sys.mem().read_u64(addr).unwrap();
+        assert_ne!(Some(ptr), sys.stats().genuine_syscall(satin_mem::layout::GETTID_NR));
+    }
+}

@@ -1,0 +1,310 @@
+#![warn(missing_docs)]
+//! Kernel-integrity hash functions and authorized hash tables.
+//!
+//! The SATIN prototype hashes normal-world kernel memory with **djb2**
+//! (paper §IV-B1, citing Bernstein's hash collection) and compares digests
+//! against pre-computed authorized values stored in secure memory
+//! (paper §VI-A2). This crate provides djb2 plus two alternatives from the
+//! same family (sdbm, FNV-1a) for ablation, an incremental [`KernelHasher`]
+//! trait, and the [`AuthorizedHashTable`] used by SATIN's integrity checking
+//! module.
+//!
+//! These are *integrity-check* hashes as used by the paper, not
+//! collision-resistant cryptographic hashes; the paper's threat model gives
+//! the checker a trusted golden value and the attacker no opportunity to
+//! craft collisions offline (any modification of the monitored bytes is a
+//! detection target regardless of digest behaviour).
+
+pub mod table;
+
+pub use table::{AuthorizedHashTable, VerifyOutcome};
+
+/// Incremental hasher over kernel bytes.
+///
+/// Object-safe so introspection strategies can be configured at runtime.
+///
+/// # Example
+///
+/// ```
+/// use satin_hash::{Djb2, KernelHasher};
+/// let mut h = Djb2::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// let incremental = h.finish();
+/// assert_eq!(incremental, satin_hash::hash_bytes(satin_hash::HashAlgorithm::Djb2, b"hello world"));
+/// ```
+pub trait KernelHasher {
+    /// Resets to the initial state.
+    fn reset(&mut self);
+    /// Feeds bytes into the hash state.
+    fn update(&mut self, bytes: &[u8]);
+    /// Returns the current digest without resetting.
+    fn finish(&self) -> u64;
+    /// Stable algorithm name.
+    fn algorithm(&self) -> HashAlgorithm;
+}
+
+/// The hash algorithms available to the integrity checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum HashAlgorithm {
+    /// Bernstein's djb2 — the paper's choice.
+    #[default]
+    Djb2,
+    /// The sdbm hash from the same collection.
+    Sdbm,
+    /// 64-bit FNV-1a.
+    Fnv1a,
+}
+
+impl HashAlgorithm {
+    /// All supported algorithms.
+    pub const ALL: [HashAlgorithm; 3] =
+        [HashAlgorithm::Djb2, HashAlgorithm::Sdbm, HashAlgorithm::Fnv1a];
+
+    /// Creates a boxed hasher for this algorithm.
+    pub fn new_hasher(self) -> Box<dyn KernelHasher> {
+        match self {
+            HashAlgorithm::Djb2 => Box::new(Djb2::new()),
+            HashAlgorithm::Sdbm => Box::new(Sdbm::new()),
+            HashAlgorithm::Fnv1a => Box::new(Fnv1a::new()),
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HashAlgorithm::Djb2 => "djb2",
+            HashAlgorithm::Sdbm => "sdbm",
+            HashAlgorithm::Fnv1a => "fnv1a",
+        }
+    }
+}
+
+impl std::fmt::Display for HashAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One-shot hash of a byte slice.
+pub fn hash_bytes(algorithm: HashAlgorithm, bytes: &[u8]) -> u64 {
+    let mut h = algorithm.new_hasher();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Bernstein's djb2 hash (`h = h * 33 + b`, seed 5381), 64-bit state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Djb2 {
+    state: u64,
+}
+
+impl Djb2 {
+    const SEED: u64 = 5381;
+
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Djb2 { state: Self::SEED }
+    }
+}
+
+impl Default for Djb2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelHasher for Djb2 {
+    fn reset(&mut self) {
+        self.state = Self::SEED;
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h = h.wrapping_mul(33).wrapping_add(u64::from(b));
+        }
+        self.state = h;
+    }
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn algorithm(&self) -> HashAlgorithm {
+        HashAlgorithm::Djb2
+    }
+}
+
+/// The sdbm hash (`h = b + (h << 6) + (h << 16) - h`), 64-bit state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sdbm {
+    state: u64,
+}
+
+impl Sdbm {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sdbm { state: 0 }
+    }
+}
+
+impl KernelHasher for Sdbm {
+    fn reset(&mut self) {
+        self.state = 0;
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h = u64::from(b)
+                .wrapping_add(h << 6)
+                .wrapping_add(h << 16)
+                .wrapping_sub(h);
+        }
+        self.state = h;
+    }
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn algorithm(&self) -> HashAlgorithm {
+        HashAlgorithm::Sdbm
+    }
+}
+
+/// 64-bit FNV-1a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Fnv1a { state: Self::OFFSET }
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelHasher for Fnv1a {
+    fn reset(&mut self) {
+        self.state = Self::OFFSET;
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.state = h;
+    }
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn algorithm(&self) -> HashAlgorithm {
+        HashAlgorithm::Fnv1a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn djb2_known_vectors() {
+        // Classic 32-bit djb2 value for "hello" is 0x0f923099; our 64-bit
+        // state agrees on short inputs where no 32-bit overflow occurs... it
+        // does overflow, so instead check the recurrence directly.
+        let mut expected: u64 = 5381;
+        for &b in b"hello" {
+            expected = expected.wrapping_mul(33).wrapping_add(u64::from(b));
+        }
+        assert_eq!(hash_bytes(HashAlgorithm::Djb2, b"hello"), expected);
+    }
+
+    #[test]
+    fn empty_input_gives_seed() {
+        assert_eq!(hash_bytes(HashAlgorithm::Djb2, b""), 5381);
+        assert_eq!(hash_bytes(HashAlgorithm::Sdbm, b""), 0);
+        assert_eq!(hash_bytes(HashAlgorithm::Fnv1a, b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn fnv1a_known_vector() {
+        // Standard FNV-1a 64 test vector: "a" -> 0xaf63dc4c8601ec8c.
+        assert_eq!(hash_bytes(HashAlgorithm::Fnv1a, b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        for alg in HashAlgorithm::ALL {
+            let mut h = alg.new_hasher();
+            h.update(b"garbage");
+            h.reset();
+            h.update(b"x");
+            assert_eq!(h.finish(), hash_bytes(alg, b"x"), "{alg}");
+        }
+    }
+
+    #[test]
+    fn algorithms_disagree_on_typical_input() {
+        let input = b"kernel text segment";
+        let d = hash_bytes(HashAlgorithm::Djb2, input);
+        let s = hash_bytes(HashAlgorithm::Sdbm, input);
+        let f = hash_bytes(HashAlgorithm::Fnv1a, input);
+        assert_ne!(d, s);
+        assert_ne!(d, f);
+        assert_ne!(s, f);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(HashAlgorithm::Djb2.to_string(), "djb2");
+        assert_eq!(HashAlgorithm::Sdbm.to_string(), "sdbm");
+        assert_eq!(HashAlgorithm::Fnv1a.to_string(), "fnv1a");
+    }
+
+    proptest! {
+        /// Incremental hashing over arbitrary chunk boundaries equals one-shot.
+        #[test]
+        fn prop_incremental_equals_oneshot(
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+            split in 0usize..512,
+        ) {
+            let split = split.min(data.len());
+            for alg in HashAlgorithm::ALL {
+                let mut h = alg.new_hasher();
+                h.update(&data[..split]);
+                h.update(&data[split..]);
+                prop_assert_eq!(h.finish(), hash_bytes(alg, &data));
+            }
+        }
+
+        /// A single flipped byte changes the digest (detection property the
+        /// integrity checker relies on). djb2/sdbm are not collision-free in
+        /// general, but single-byte substitutions at the same position always
+        /// change the digest because the per-byte mixing is injective in the
+        /// final addition.
+        #[test]
+        fn prop_single_byte_flip_detected(
+            mut data in proptest::collection::vec(any::<u8>(), 1..256),
+            idx in 0usize..256,
+            delta in 1u8..=255,
+        ) {
+            let idx = idx % data.len();
+            for alg in HashAlgorithm::ALL {
+                let before = hash_bytes(alg, &data);
+                data[idx] = data[idx].wrapping_add(delta);
+                let after = hash_bytes(alg, &data);
+                data[idx] = data[idx].wrapping_sub(delta);
+                prop_assert_ne!(before, after, "{} missed a byte flip", alg);
+            }
+        }
+    }
+}

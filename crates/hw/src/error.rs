@@ -1,0 +1,88 @@
+//! Hardware-model error types.
+
+use crate::topology::CoreId;
+use crate::world::World;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the hardware models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// An access to secure-only state was attempted from the wrong world.
+    ///
+    /// This is how the simulation enforces the TrustZone privilege asymmetry:
+    /// e.g. the normal world writing `CNTPS_CVAL_EL1` or reading the wake-up
+    /// time queue yields this error instead of data.
+    SecureAccessDenied {
+        /// The world the access came from.
+        from: World,
+        /// What was accessed.
+        resource: &'static str,
+    },
+    /// A core id outside the platform topology.
+    NoSuchCore {
+        /// The offending id.
+        core: CoreId,
+    },
+    /// A world transition that the monitor state machine forbids
+    /// (e.g. entering secure world on a core already in secure world).
+    InvalidWorldSwitch {
+        /// The core being switched.
+        core: CoreId,
+        /// The world the core is currently in.
+        current: World,
+        /// The world requested.
+        requested: World,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::SecureAccessDenied { from, resource } => {
+                write!(f, "access to {resource} denied from {from} world")
+            }
+            HwError::NoSuchCore { core } => write!(f, "no such core: {core}"),
+            HwError::InvalidWorldSwitch {
+                core,
+                current,
+                requested,
+            } => write!(
+                f,
+                "invalid world switch on {core}: {current} -> {requested}"
+            ),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HwError::SecureAccessDenied {
+            from: World::Normal,
+            resource: "CNTPS_CVAL_EL1",
+        };
+        assert!(e.to_string().contains("CNTPS_CVAL_EL1"));
+        assert!(e.to_string().contains("normal"));
+        let e = HwError::NoSuchCore { core: CoreId::new(9) };
+        assert!(e.to_string().contains("core9"));
+        let e = HwError::InvalidWorldSwitch {
+            core: CoreId::new(1),
+            current: World::Secure,
+            requested: World::Secure,
+        };
+        assert!(e.to_string().contains("secure -> secure"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<HwError>();
+    }
+}

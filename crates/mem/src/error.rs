@@ -1,0 +1,64 @@
+//! Memory-model error types.
+
+use crate::addr::{MemRange, PhysAddr};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the memory models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// Access outside the backing store.
+    OutOfBounds {
+        /// The requested range.
+        requested: MemRange,
+        /// The valid range.
+        valid: MemRange,
+    },
+    /// Write to a page whose access-permission bits forbid writing.
+    WriteProtected {
+        /// The faulting address.
+        addr: PhysAddr,
+    },
+    /// A named section was not found in the layout.
+    NoSuchSection {
+        /// The requested section name.
+        name: String,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { requested, valid } => {
+                write!(f, "access {requested} outside valid memory {valid}")
+            }
+            MemError::WriteProtected { addr } => {
+                write!(f, "write to protected page at {addr}")
+            }
+            MemError::NoSuchSection { name } => write!(f, "no such kernel section: {name}"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MemError::OutOfBounds {
+            requested: MemRange::new(PhysAddr::new(0x100), 8),
+            valid: MemRange::new(PhysAddr::new(0), 0x10),
+        };
+        assert!(e.to_string().contains("outside"));
+        assert!(MemError::WriteProtected { addr: PhysAddr::new(4) }
+            .to_string()
+            .contains("protected"));
+        assert!(MemError::NoSuchSection { name: "x".into() }
+            .to_string()
+            .contains("x"));
+    }
+}

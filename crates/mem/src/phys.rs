@@ -1,0 +1,227 @@
+//! The physical memory backing the normal-world kernel image.
+
+use crate::addr::{MemRange, PhysAddr};
+use crate::error::MemError;
+use crate::image;
+use crate::layout::KernelLayout;
+use crate::perms::PagePermissions;
+
+/// A record of one memory write, kept so in-flight scans can resolve what a
+/// sequential scanner observed (see [`crate::ScanWindow`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// First address written.
+    pub addr: PhysAddr,
+    /// The bytes that were replaced.
+    pub old: Vec<u8>,
+    /// The bytes written.
+    pub new: Vec<u8>,
+}
+
+/// Byte-addressable physical memory holding the kernel image.
+///
+/// Reads are unrestricted (the secure world may read anything; the normal
+/// world reading its own kernel is equally fine). Writes go through the
+/// page-permission check unless performed with
+/// [`PhysMemory::write_unchecked`], which models a write executed after the
+/// attacker has flipped the AP bits.
+///
+/// # Example
+///
+/// ```
+/// use satin_mem::{KernelLayout, PhysMemory};
+/// let layout = KernelLayout::paper();
+/// let mem = PhysMemory::with_image(&layout, 42);
+/// let text = layout.section(".text").unwrap().range();
+/// assert_eq!(mem.read(text).unwrap().len() as u64, text.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysMemory {
+    base: PhysAddr,
+    bytes: Vec<u8>,
+    perms: PagePermissions,
+}
+
+impl PhysMemory {
+    /// Allocates memory covering `range`, zero-filled, all pages writable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
+    pub fn zeroed(range: MemRange) -> Self {
+        assert!(!range.is_empty(), "empty memory range");
+        PhysMemory {
+            base: range.start(),
+            bytes: vec![0; range.len() as usize],
+            perms: PagePermissions::all_writable(range),
+        }
+    }
+
+    /// Allocates memory for `layout` and fills it with the deterministic
+    /// synthetic image for `seed`.
+    pub fn with_image(layout: &KernelLayout, seed: u64) -> Self {
+        let mut mem = Self::zeroed(layout.range());
+        image::fill(layout, seed, &mut mem.bytes);
+        mem
+    }
+
+    /// The covered range.
+    pub fn range(&self) -> MemRange {
+        MemRange::new(self.base, self.bytes.len() as u64)
+    }
+
+    /// Page permissions (AP bits).
+    pub fn perms(&self) -> &PagePermissions {
+        &self.perms
+    }
+
+    /// Mutable page permissions — used by the synchronous-introspection setup
+    /// (protecting invariant pages) and by the exploit that undoes it.
+    pub fn perms_mut(&mut self) -> &mut PagePermissions {
+        &mut self.perms
+    }
+
+    /// Reads `range`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if `range` is not inside memory.
+    pub fn read(&self, range: MemRange) -> Result<&[u8], MemError> {
+        self.check(range)?;
+        let start = range.start().offset_from(self.base) as usize;
+        Ok(&self.bytes[start..start + range.len() as usize])
+    }
+
+    /// Reads exactly 8 bytes at `addr` as a little-endian u64 (a pointer).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if the 8 bytes are not inside memory.
+    pub fn read_u64(&self, addr: PhysAddr) -> Result<u64, MemError> {
+        let bytes = self.read(MemRange::new(addr, 8))?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Writes `new` at `addr`, honouring page permissions.
+    ///
+    /// Returns a [`WriteRecord`] with the replaced bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if outside memory;
+    /// [`MemError::WriteProtected`] if any touched page is read-only (this is
+    /// the fault a synchronous introspection hook would trap on).
+    pub fn write(&mut self, addr: PhysAddr, new: &[u8]) -> Result<WriteRecord, MemError> {
+        let range = MemRange::new(addr, new.len() as u64);
+        self.check(range)?;
+        if !self.perms.is_range_writable(range) {
+            return Err(MemError::WriteProtected { addr });
+        }
+        Ok(self.write_raw(addr, new))
+    }
+
+    /// Writes `new` at `addr` ignoring page permissions — the attacker's
+    /// path after flipping AP bits, or firmware writes at boot.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if outside memory.
+    pub fn write_unchecked(&mut self, addr: PhysAddr, new: &[u8]) -> Result<WriteRecord, MemError> {
+        self.check(MemRange::new(addr, new.len() as u64))?;
+        Ok(self.write_raw(addr, new))
+    }
+
+    fn write_raw(&mut self, addr: PhysAddr, new: &[u8]) -> WriteRecord {
+        let start = addr.offset_from(self.base) as usize;
+        let old = self.bytes[start..start + new.len()].to_vec();
+        self.bytes[start..start + new.len()].copy_from_slice(new);
+        WriteRecord {
+            addr,
+            old,
+            new: new.to_vec(),
+        }
+    }
+
+    fn check(&self, range: MemRange) -> Result<(), MemError> {
+        if self.range().contains_range(&range) {
+            Ok(())
+        } else {
+            Err(MemError::OutOfBounds {
+                requested: range,
+                valid: self.range(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::GETTID_NR;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = PhysMemory::zeroed(MemRange::new(PhysAddr::new(0x1000), 64));
+        let rec = mem.write(PhysAddr::new(0x1008), &[1, 2, 3]).unwrap();
+        assert_eq!(rec.old, vec![0, 0, 0]);
+        assert_eq!(rec.new, vec![1, 2, 3]);
+        assert_eq!(
+            mem.read(MemRange::new(PhysAddr::new(0x1008), 3)).unwrap(),
+            &[1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mem = PhysMemory::zeroed(MemRange::new(PhysAddr::new(0x1000), 16));
+        assert!(mem.read(MemRange::new(PhysAddr::new(0x1010), 1)).is_err());
+        assert!(mem.read(MemRange::new(PhysAddr::new(0xfff), 1)).is_err());
+        assert!(mem.read(MemRange::new(PhysAddr::new(0x100f), 2)).is_err());
+        // Exactly at the end is fine.
+        assert!(mem.read(MemRange::new(PhysAddr::new(0x100f), 1)).is_ok());
+    }
+
+    #[test]
+    fn write_protection_faults() {
+        let mut mem = PhysMemory::zeroed(MemRange::new(PhysAddr::new(0), 8192));
+        mem.perms_mut().protect(MemRange::new(PhysAddr::new(0), 4096));
+        let err = mem.write(PhysAddr::new(100), &[1]).unwrap_err();
+        assert!(matches!(err, MemError::WriteProtected { .. }));
+        // The unchecked path (post-exploit) succeeds.
+        mem.write_unchecked(PhysAddr::new(100), &[1]).unwrap();
+        assert_eq!(mem.read(MemRange::new(PhysAddr::new(100), 1)).unwrap(), &[1]);
+    }
+
+    #[test]
+    fn image_backed_memory_matches_generator() {
+        let layout = KernelLayout::paper();
+        let mem = PhysMemory::with_image(&layout, 5);
+        let expected = image::generate(&layout, 5);
+        assert_eq!(mem.read(layout.range()).unwrap(), &expected[..]);
+    }
+
+    #[test]
+    fn read_u64_syscall_entry() {
+        let layout = KernelLayout::paper();
+        let mem = PhysMemory::with_image(&layout, 5);
+        let addr = layout.syscall_entry_addr(GETTID_NR);
+        let ptr = mem.read_u64(addr).unwrap();
+        let text = layout.section(".text").unwrap().range();
+        assert!(text.contains(PhysAddr::new(ptr)));
+    }
+
+    #[test]
+    fn write_record_captures_old_bytes() {
+        let layout = KernelLayout::paper();
+        let mut mem = PhysMemory::with_image(&layout, 5);
+        let addr = layout.syscall_entry_addr(GETTID_NR);
+        let genuine = mem.read(MemRange::new(addr, 8)).unwrap().to_vec();
+        let hijack = image::hijacked_entry_bytes(&layout, 11);
+        let rec = mem.write_unchecked(addr, &hijack).unwrap();
+        assert_eq!(rec.old, genuine);
+        assert_eq!(rec.new, hijack.to_vec());
+        // Restore and verify round trip.
+        mem.write_unchecked(addr, &rec.old).unwrap();
+        assert_eq!(mem.read(MemRange::new(addr, 8)).unwrap(), &genuine[..]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Starting an introspection scan over normal-world memory.
+//!
+//! Table I of the paper compares two scan strategies (direct hash vs
+//! snapshot-then-hash). Both *read the normal world sequentially at a
+//! per-byte rate*, so both are subject to the same TOCTTOU race while the
+//! bytes are being read; the snapshot strategy additionally pays for the copy
+//! and the secure-memory footprint. [`begin_scan`] captures the shared part:
+//! it snapshots the range as of scan start and returns the
+//! [`satin_mem::ScanWindow`] that resolves the race.
+
+use satin_hw::timing::{ByteRate, ScanStrategy};
+use satin_mem::{MemError, MemRange, PhysMemory, ScanWindow};
+use satin_sim::SimTime;
+
+/// Memory cost of a scan, for the Table I comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanCost {
+    /// Secure-memory bytes consumed (the snapshot buffer, if any).
+    pub secure_memory_bytes: u64,
+}
+
+/// Begins a sequential scan of `range` starting at `start` with the given
+/// per-byte `rate`, returning the in-flight window plus its memory cost.
+///
+/// # Errors
+///
+/// Propagates [`MemError`] if `range` lies outside memory.
+///
+/// # Example
+///
+/// ```
+/// use satin_hw::timing::{ByteRate, ScanStrategy};
+/// use satin_mem::{KernelLayout, PhysMemory};
+/// use satin_secure::scanner::begin_scan;
+/// use satin_sim::SimTime;
+///
+/// let layout = KernelLayout::paper();
+/// let mem = PhysMemory::with_image(&layout, 42);
+/// let area = layout.segment_range(0);
+/// let (window, cost) = begin_scan(
+///     &mem, area, SimTime::ZERO, ByteRate::new(6.67e-9), ScanStrategy::DirectHash,
+/// ).unwrap();
+/// assert_eq!(window.range(), area);
+/// assert_eq!(cost.secure_memory_bytes, 0); // direct hash copies nothing
+/// ```
+pub fn begin_scan(
+    mem: &PhysMemory,
+    range: MemRange,
+    start: SimTime,
+    rate: ByteRate,
+    strategy: ScanStrategy,
+) -> Result<(ScanWindow, ScanCost), MemError> {
+    let snapshot = mem.read(range)?.to_vec();
+    let cost = ScanCost {
+        secure_memory_bytes: match strategy {
+            ScanStrategy::DirectHash => 0,
+            ScanStrategy::SnapshotThenHash => range.len(),
+        },
+    };
+    Ok((
+        ScanWindow::begin(range, start, rate.secs_per_byte(), snapshot),
+        cost,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satin_hash::HashAlgorithm;
+    use satin_mem::KernelLayout;
+
+    #[test]
+    fn scan_of_pristine_area_matches_direct_hash() {
+        let layout = KernelLayout::paper();
+        let mem = PhysMemory::with_image(&layout, 3);
+        let area = layout.segment_range(2);
+        let (w, _) = begin_scan(
+            &mem,
+            area,
+            SimTime::from_secs(1),
+            ByteRate::new(1.07e-8),
+            ScanStrategy::DirectHash,
+        )
+        .unwrap();
+        let direct = satin_hash::hash_bytes(HashAlgorithm::Djb2, mem.read(area).unwrap());
+        assert_eq!(w.observed_digest(HashAlgorithm::Djb2), direct);
+    }
+
+    #[test]
+    fn snapshot_strategy_costs_secure_memory() {
+        let layout = KernelLayout::paper();
+        let mem = PhysMemory::with_image(&layout, 3);
+        let area = layout.segment_range(1);
+        let (_, direct) = begin_scan(
+            &mem, area, SimTime::ZERO, ByteRate::new(1e-8), ScanStrategy::DirectHash,
+        )
+        .unwrap();
+        let (_, snap) = begin_scan(
+            &mem, area, SimTime::ZERO, ByteRate::new(1e-8), ScanStrategy::SnapshotThenHash,
+        )
+        .unwrap();
+        assert_eq!(direct.secure_memory_bytes, 0);
+        assert_eq!(snap.secure_memory_bytes, area.len());
+    }
+
+    #[test]
+    fn out_of_bounds_scan_rejected() {
+        let layout = KernelLayout::paper();
+        let mem = PhysMemory::with_image(&layout, 3);
+        let bogus = MemRange::new(layout.range().end(), 16);
+        assert!(begin_scan(
+            &mem, bogus, SimTime::ZERO, ByteRate::new(1e-8), ScanStrategy::DirectHash,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Test Secure Payload bookkeeping.
+//!
+//! The paper's prototype "modif\[ies\] the secure timer interrupt handler in
+//! the TSP to perform the integrity check over the normal world" (§IV-A).
+//! The payload model here tracks what the real TSP tracks: which handler is
+//! installed for the secure timer, per-core invocation statistics, and
+//! cumulative secure-world residency (used by the Figure 7 overhead study).
+
+use satin_hw::CoreId;
+use satin_sim::{SimDuration, SimTime};
+
+/// Per-core invocation record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreStats {
+    /// Number of secure timer invocations handled.
+    pub invocations: u64,
+    /// Total time spent in the secure world.
+    pub residency: SimDuration,
+}
+
+/// The secure payload's bookkeeping state.
+///
+/// # Example
+///
+/// ```
+/// use satin_secure::TestSecurePayload;
+/// use satin_hw::CoreId;
+/// use satin_sim::{SimDuration, SimTime};
+///
+/// let mut tsp = TestSecurePayload::new(6);
+/// tsp.record_invocation(CoreId::new(2), SimTime::from_secs(8), SimDuration::from_millis(4));
+/// assert_eq!(tsp.stats(CoreId::new(2)).invocations, 1);
+/// assert_eq!(tsp.total_invocations(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestSecurePayload {
+    stats: Vec<CoreStats>,
+    last_invocation: Option<(CoreId, SimTime)>,
+}
+
+impl TestSecurePayload {
+    /// A payload for `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores == 0`.
+    pub fn new(num_cores: usize) -> Self {
+        assert!(num_cores > 0, "TSP needs at least one core");
+        TestSecurePayload {
+            stats: vec![CoreStats::default(); num_cores],
+            last_invocation: None,
+        }
+    }
+
+    /// Records one secure timer invocation on `core` at `at`, spending
+    /// `residency` in the secure world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn record_invocation(&mut self, core: CoreId, at: SimTime, residency: SimDuration) {
+        let s = &mut self.stats[core.index()];
+        s.invocations += 1;
+        s.residency += residency;
+        self.last_invocation = Some((core, at));
+    }
+
+    /// Stats for one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn stats(&self, core: CoreId) -> CoreStats {
+        self.stats[core.index()]
+    }
+
+    /// Total invocations across cores.
+    pub fn total_invocations(&self) -> u64 {
+        self.stats.iter().map(|s| s.invocations).sum()
+    }
+
+    /// Total secure-world residency across cores.
+    pub fn total_residency(&self) -> SimDuration {
+        self.stats
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.residency)
+    }
+
+    /// The most recent invocation, if any.
+    pub fn last_invocation(&self) -> Option<(CoreId, SimTime)> {
+        self.last_invocation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_core() {
+        let mut tsp = TestSecurePayload::new(3);
+        tsp.record_invocation(CoreId::new(0), SimTime::from_secs(1), SimDuration::from_millis(5));
+        tsp.record_invocation(CoreId::new(0), SimTime::from_secs(2), SimDuration::from_millis(5));
+        tsp.record_invocation(CoreId::new(2), SimTime::from_secs(3), SimDuration::from_millis(3));
+        assert_eq!(tsp.stats(CoreId::new(0)).invocations, 2);
+        assert_eq!(tsp.stats(CoreId::new(0)).residency, SimDuration::from_millis(10));
+        assert_eq!(tsp.stats(CoreId::new(1)).invocations, 0);
+        assert_eq!(tsp.total_invocations(), 3);
+        assert_eq!(tsp.total_residency(), SimDuration::from_millis(13));
+        assert_eq!(
+            tsp.last_invocation(),
+            Some((CoreId::new(2), SimTime::from_secs(3)))
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_core_panics() {
+        let tsp = TestSecurePayload::new(1);
+        let _ = tsp.stats(CoreId::new(5));
+    }
+}

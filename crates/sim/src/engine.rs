@@ -1,0 +1,290 @@
+//! The simulation driver: a clock plus an event queue.
+
+use crate::error::SimError;
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulator over events of type `E`.
+///
+/// The simulator owns the virtual clock and the pending-event queue. Higher
+/// layers (the [`satin-system`] machine) pop events, advance state, and push
+/// follow-up events. Keeping the engine generic and dumb makes its invariants
+/// (time monotonicity, FIFO ties) easy to test in isolation.
+///
+/// [`satin-system`]: https://example.invalid/satin
+///
+/// # Example
+///
+/// ```
+/// use satin_sim::{Simulator, SimDuration};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Ping, Pong }
+///
+/// let mut sim = Simulator::new();
+/// sim.schedule_after(SimDuration::from_nanos(10), Ev::Ping);
+/// let (t, ev) = sim.pop().unwrap();
+/// assert_eq!(ev, Ev::Ping);
+/// assert_eq!(sim.now(), t);
+/// sim.schedule_after(SimDuration::from_nanos(5), Ev::Pong);
+/// assert_eq!(sim.pop().unwrap().1, Ev::Pong);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    dispatched: u64,
+    event_budget: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Default safety cap on dispatched events (5 billion): large enough for
+    /// every experiment in the paper, small enough to catch runaway loops.
+    pub const DEFAULT_EVENT_BUDGET: u64 = 5_000_000_000;
+
+    /// Creates a simulator at time zero with the default event budget.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            dispatched: 0,
+            event_budget: Self::DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Creates a simulator with an explicit event budget.
+    pub fn with_event_budget(event_budget: u64) -> Self {
+        Simulator {
+            event_budget,
+            ..Self::new()
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleInPast`] if `at` is before the current
+    /// simulated time. Scheduling *at* the current time is allowed (the event
+    /// dispatches after already-queued events for this instant).
+    pub fn try_schedule_at(&mut self, at: SimTime, event: E) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::ScheduleInPast {
+                now: self.now,
+                requested: at,
+            });
+        }
+        self.queue.push(at, event);
+        Ok(())
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; use [`Simulator::try_schedule_at`] to
+    /// handle that case gracefully.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.try_schedule_at(at, event)
+            .expect("event scheduled in the past");
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        let at = self.now + delay;
+        self.queue.push(at, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when no events are pending.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (t, ev) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue returned a past event");
+        self.now = t;
+        self.dispatched += 1;
+        ev_into(t, ev)
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`.
+    ///
+    /// The clock never advances past `deadline`: if the next event is later
+    /// (or the queue is empty), the clock is set to `deadline` and `None` is
+    /// returned. This is how experiments run "for 8 simulated seconds".
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => {
+                if deadline > self.now {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Runs `handler` on every event until the queue drains or the handler
+    /// returns `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExhausted`] if more than the configured
+    /// event budget dispatches, which almost always indicates a component
+    /// rescheduling itself in a zero-delay loop.
+    pub fn run<F>(&mut self, mut handler: F) -> Result<(), SimError>
+    where
+        F: FnMut(&mut Self, SimTime, E) -> bool,
+    {
+        while let Some((t, ev)) = self.pop() {
+            if self.dispatched > self.event_budget {
+                return Err(SimError::EventBudgetExhausted {
+                    budget: self.event_budget,
+                });
+            }
+            if !handler(self, t, ev) {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+// Helper so `pop` can return the tuple without fighting the borrow checker in
+// future refactors; kept trivial on purpose.
+fn ev_into<E>(t: SimTime, ev: E) -> Option<(SimTime, E)> {
+    Some((t, ev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule_at(SimTime::from_nanos(50), 1);
+        sim.schedule_at(SimTime::from_nanos(20), 2);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.pop(), Some((SimTime::from_nanos(20), 2)));
+        assert_eq!(sim.now(), SimTime::from_nanos(20));
+        assert_eq!(sim.pop(), Some((SimTime::from_nanos(50), 1)));
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+        assert_eq!(sim.pop(), None);
+    }
+
+    #[test]
+    fn schedule_in_past_rejected() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule_at(SimTime::from_nanos(100), 1);
+        sim.pop();
+        let err = sim.try_schedule_at(SimTime::from_nanos(10), 2).unwrap_err();
+        assert!(matches!(err, SimError::ScheduleInPast { .. }));
+        // Scheduling at exactly `now` is fine.
+        sim.try_schedule_at(SimTime::from_nanos(100), 3).unwrap();
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule_at(SimTime::from_nanos(10), 1);
+        sim.schedule_at(SimTime::from_nanos(30), 2);
+        let deadline = SimTime::from_nanos(20);
+        assert_eq!(sim.pop_until(deadline), Some((SimTime::from_nanos(10), 1)));
+        assert_eq!(sim.pop_until(deadline), None);
+        assert_eq!(sim.now(), deadline);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn pop_until_on_empty_queue_advances_clock() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        assert_eq!(sim.pop_until(SimTime::from_secs(1)), None);
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn run_drains_and_counts() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_nanos(i), i as u32);
+        }
+        let mut seen = Vec::new();
+        sim.run(|_, _, ev| {
+            seen.push(ev);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, (0..10).collect::<Vec<u32>>());
+        assert_eq!(sim.dispatched(), 10);
+    }
+
+    #[test]
+    fn run_stops_when_handler_returns_false() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_nanos(i), i as u32);
+        }
+        let mut count = 0;
+        sim.run(|_, _, _| {
+            count += 1;
+            count < 3
+        })
+        .unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(sim.pending(), 7);
+    }
+
+    #[test]
+    fn event_budget_trips() {
+        let mut sim: Simulator<u32> = Simulator::with_event_budget(100);
+        sim.schedule_at(SimTime::from_nanos(1), 0);
+        let err = sim
+            .run(|sim, _, _| {
+                // Pathological self-rescheduling loop.
+                sim.schedule_after(SimDuration::from_nanos(1), 0);
+                true
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::EventBudgetExhausted { budget: 100 }));
+    }
+
+    proptest! {
+        /// Invariant 1: the clock observed by the handler never decreases.
+        #[test]
+        fn prop_clock_monotone(times in proptest::collection::vec(0u64..10_000, 1..300)) {
+            let mut sim: Simulator<usize> = Simulator::new();
+            for (i, t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(*t), i);
+            }
+            let mut last = SimTime::ZERO;
+            sim.run(|s, t, _| {
+                assert!(t >= last);
+                assert_eq!(s.now(), t);
+                last = t;
+                true
+            }).unwrap();
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for the simulation engine.
+
+use crate::time::SimTime;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An event was scheduled strictly before the current simulated time.
+    ScheduleInPast {
+        /// Current simulated time.
+        now: SimTime,
+        /// Requested (past) event time.
+        requested: SimTime,
+    },
+    /// The simulation ran past its configured event budget, which usually
+    /// indicates a runaway self-rescheduling component.
+    EventBudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScheduleInPast { now, requested } => {
+                write!(f, "event scheduled in the past: now {now}, requested {requested}")
+            }
+            SimError::EventBudgetExhausted { budget } => {
+                write!(f, "simulation exceeded event budget of {budget} events")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::ScheduleInPast {
+            now: SimTime::from_nanos(10),
+            requested: SimTime::from_nanos(5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("past"));
+        let e = SimError::EventBudgetExhausted { budget: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,165 @@
+//! ASCII charts: horizontal bar charts (Figure 7) and boxplot strips
+//! (Figure 4) for terminal experiment reports.
+
+use crate::boxplot::FiveNumber;
+
+/// Renders a horizontal bar chart of labelled values.
+///
+/// Bars are scaled so the largest value spans `width` characters. Values must
+/// be nonnegative.
+///
+/// # Example
+///
+/// ```
+/// let out = satin_stats::chart::bar_chart(
+///     &[("file copy 256B".to_string(), 3.556), ("dhrystone".to_string(), 0.2)],
+///     20,
+///     "%",
+/// );
+/// assert!(out.contains("file copy 256B"));
+/// assert!(out.contains('#'));
+/// ```
+pub fn bar_chart(items: &[(String, f64)], width: usize, unit: &str) -> String {
+    if items.is_empty() {
+        return String::new();
+    }
+    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let pad = label_w - label.chars().count();
+        out.push_str(label);
+        out.extend(std::iter::repeat(' ').take(pad));
+        out.push_str(" | ");
+        out.extend(std::iter::repeat('#').take(bar_len));
+        out.push_str(&format!(" {value:.3}{unit}\n"));
+    }
+    out
+}
+
+/// Renders one boxplot as a single text strip over `[lo, hi]`.
+///
+/// Layout: `-` whisker span, `=` box (Q1..Q3), `|` median, `o` outliers.
+///
+/// # Example
+///
+/// ```
+/// use satin_stats::FiveNumber;
+/// let fv = FiveNumber::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+/// let strip = satin_stats::chart::boxplot_strip(&fv, 0.0, 6.0, 30);
+/// assert_eq!(strip.chars().count(), 30);
+/// assert!(strip.contains('|'));
+/// ```
+pub fn boxplot_strip(fv: &FiveNumber, lo: f64, hi: f64, width: usize) -> String {
+    assert!(width >= 3, "strip too narrow");
+    assert!(lo < hi, "invalid strip range");
+    let pos = |v: f64| -> usize {
+        let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((frac * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+    let mut strip = vec![' '; width];
+    for i in pos(fv.whisker_low)..=pos(fv.whisker_high) {
+        strip[i] = '-';
+    }
+    for i in pos(fv.q1)..=pos(fv.q3) {
+        strip[i] = '=';
+    }
+    strip[pos(fv.median)] = '|';
+    for o in &fv.outliers {
+        strip[pos(*o)] = 'o';
+    }
+    strip.into_iter().collect()
+}
+
+/// Renders labelled boxplots on a shared scale, one strip per row.
+pub fn boxplot_chart(rows: &[(String, FiveNumber)], width: usize) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let lo = rows.iter().map(|(_, f)| f.min).fold(f64::INFINITY, f64::min);
+    let hi = rows
+        .iter()
+        .map(|(_, f)| f.max)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let (lo, hi) = if lo < hi { (lo, hi) } else { (lo - 0.5, hi + 0.5) };
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, fv) in rows {
+        let pad = label_w - label.chars().count();
+        out.push_str(label);
+        out.extend(std::iter::repeat(' ').take(pad));
+        out.push_str(" [");
+        out.push_str(&boxplot_strip(fv, lo, hi, width));
+        out.push_str("]\n");
+    }
+    out.push_str(&format!(
+        "{:label_w$} scale: {} .. {}\n",
+        "",
+        crate::fmt_sci(lo, 2),
+        crate::fmt_sci(hi, 2),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let out = bar_chart(
+            &[("big".to_string(), 10.0), ("small".to_string(), 5.0)],
+            10,
+            "",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        let hashes = |s: &str| s.chars().filter(|c| *c == '#').count();
+        assert_eq!(hashes(lines[0]), 10);
+        assert_eq!(hashes(lines[1]), 5);
+    }
+
+    #[test]
+    fn bar_chart_handles_empty_and_zero() {
+        assert_eq!(bar_chart(&[], 10, ""), "");
+        let out = bar_chart(&[("z".to_string(), 0.0)], 10, "%");
+        assert!(!out.contains('#'));
+    }
+
+    #[test]
+    fn strip_marks_components() {
+        let fv = FiveNumber::of(&[1.0, 2.0, 3.0, 4.0, 50.0]).unwrap();
+        let s = boxplot_strip(&fv, 0.0, 55.0, 56);
+        assert!(s.contains('='));
+        assert!(s.contains('|'));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn chart_shares_scale() {
+        let a = FiveNumber::of(&[1.0, 2.0, 3.0]).unwrap();
+        let b = FiveNumber::of(&[10.0, 20.0, 30.0]).unwrap();
+        let out = boxplot_chart(&[("a".to_string(), a), ("b".to_string(), b)], 40);
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("scale:"));
+    }
+
+    #[test]
+    fn chart_degenerate_range() {
+        let a = FiveNumber::of(&[5.0, 5.0]).unwrap();
+        let out = boxplot_chart(&[("a".to_string(), a)], 20);
+        assert!(out.contains('['));
+    }
+}

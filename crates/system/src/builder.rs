@@ -1,0 +1,157 @@
+//! Construction of a [`System`].
+
+use crate::machine::System;
+use satin_hw::Platform;
+use satin_kernel::KernelConfig;
+use satin_mem::KernelLayout;
+use satin_sim::{RngFactory, TraceLog};
+
+/// Builder for a [`System`].
+///
+/// Defaults reproduce the paper's evaluation platform: a Juno r1 with the
+/// calibrated timing model, the 19-segment kernel layout, an lsk-4.4-like
+/// kernel configuration, and tracing enabled.
+///
+/// # Example
+///
+/// ```
+/// use satin_system::SystemBuilder;
+/// let sys = SystemBuilder::new().seed(42).trace(false).build();
+/// assert_eq!(sys.num_cores(), 6);
+/// ```
+pub struct SystemBuilder {
+    platform: Platform,
+    layout: KernelLayout,
+    config: KernelConfig,
+    master_seed: u64,
+    image_seed: u64,
+    trace: bool,
+}
+
+impl SystemBuilder {
+    /// A builder with paper defaults.
+    pub fn new() -> Self {
+        SystemBuilder {
+            platform: Platform::juno_r1(),
+            layout: KernelLayout::paper(),
+            config: KernelConfig::lsk_4_4(),
+            master_seed: 0x5a71_0001,
+            image_seed: 0x1_4ee7,
+            trace: true,
+        }
+    }
+
+    /// Sets the master RNG seed (drives every stochastic draw).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Sets the kernel-image content seed.
+    pub fn image_seed(mut self, seed: u64) -> Self {
+        self.image_seed = seed;
+        self
+    }
+
+    /// Replaces the hardware platform (custom topology/timing/routing).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Replaces the kernel layout.
+    pub fn layout(mut self, layout: KernelLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Replaces the kernel configuration.
+    pub fn kernel_config(mut self, config: KernelConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables or disables tracing (disable for long benchmark runs).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Assembles the system.
+    pub fn build(self) -> System {
+        let f = RngFactory::new(self.master_seed);
+        let rngs = [
+            f.stream("sched"),
+            f.stream("timing"),
+            f.stream("secure"),
+            f.stream("body"),
+        ];
+        let trace = if self.trace {
+            TraceLog::new()
+        } else {
+            TraceLog::disabled()
+        };
+        System::assemble(
+            self.platform,
+            self.layout,
+            self.config,
+            self.image_seed,
+            rngs,
+            trace,
+        )
+    }
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satin_hw::{CoreKind, Topology};
+
+    #[test]
+    fn default_is_juno() {
+        let s = SystemBuilder::new().build();
+        assert_eq!(s.num_cores(), 6);
+        assert_eq!(s.layout().num_segments(), 19);
+        assert!(s.trace().is_enabled());
+    }
+
+    #[test]
+    fn custom_platform() {
+        let p = Platform::new(
+            Topology::homogeneous(CoreKind::A53, 2),
+            satin_hw::TimingModel::paper_calibrated(),
+            satin_hw::gic::RoutingConfig::satin(),
+        );
+        let s = SystemBuilder::new().platform(p).trace(false).build();
+        assert_eq!(s.num_cores(), 2);
+        assert!(!s.trace().is_enabled());
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed: u64| {
+            let mut s = SystemBuilder::new().seed(seed).trace(false).build();
+            use satin_kernel::{Affinity, SchedClass};
+            use satin_sim::{SimDuration, SimTime};
+            let t = s.spawn(
+                "w",
+                SchedClass::cfs(),
+                Affinity::any(6),
+                |ctx: &mut crate::RunCtx<'_>| {
+                    let d = ctx.publish_time_report();
+                    crate::RunOutcome::sleep_after(d, SimDuration::from_micros(100))
+                },
+            );
+            s.wake_at(t, SimTime::ZERO);
+            s.run_until(SimTime::from_millis(10));
+            (s.task(t).cpu_time(), s.stats().time_reports)
+        };
+        assert_eq!(run(99), run(99));
+    }
+}

@@ -1,0 +1,59 @@
+//! The system event vocabulary.
+
+use satin_hw::CoreId;
+use satin_kernel::TaskId;
+
+/// Events dispatched by the [`crate::System`] event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysEvent {
+    /// Periodic scheduler-tick boundary on a core.
+    TickBoundary {
+        /// The ticking core.
+        core: CoreId,
+    },
+    /// A sleeping task's timer expired.
+    TaskWake {
+        /// The task to wake.
+        task: TaskId,
+    },
+    /// Try to put a task on the CPU (after a dispatch latency).
+    Dispatch {
+        /// The core to dispatch on.
+        core: CoreId,
+    },
+    /// The running task's busy period finished.
+    TaskDone {
+        /// The core the task ran on.
+        core: CoreId,
+        /// The task.
+        task: TaskId,
+        /// Stale-event guard: must match the core's current run token.
+        token: u64,
+    },
+    /// A core's secure timer reached its compare value.
+    SecureTimerFire {
+        /// The core whose timer fired.
+        core: CoreId,
+        /// Stale-event guard: must match the core's timer generation.
+        generation: u64,
+    },
+    /// The secure-world residency on a core is over.
+    SecureDone {
+        /// The core leaving the secure world.
+        core: CoreId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable() {
+        let a = SysEvent::Dispatch { core: CoreId::new(1) };
+        let b = SysEvent::Dispatch { core: CoreId::new(1) };
+        assert_eq!(a, b);
+        let c = SysEvent::TaskWake { task: TaskId::new(0) };
+        assert_ne!(a, c);
+    }
+}

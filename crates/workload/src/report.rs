@@ -1,0 +1,134 @@
+//! Overhead-study results.
+
+use satin_stats::summary::geometric_mean;
+
+/// One workload's scores with SATIN off and on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    /// Workload name.
+    pub name: String,
+    /// Score without SATIN.
+    pub score_off: f64,
+    /// Score with SATIN.
+    pub score_on: f64,
+}
+
+impl OverheadRow {
+    /// Normalized degradation `1 − on/off` (the Figure 7 bar).
+    pub fn degradation(&self) -> f64 {
+        if self.score_off <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.score_on / self.score_off
+    }
+}
+
+/// The full study result for one task count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadReport {
+    /// Parallel copies per benchmark (1 or 6 in the paper).
+    pub tasks: usize,
+    /// Per-workload rows.
+    pub rows: Vec<OverheadRow>,
+}
+
+impl OverheadReport {
+    /// Arithmetic mean degradation across workloads (the paper's "0.711%"
+    /// and "0.848%" numbers).
+    pub fn mean_degradation(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.degradation()).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// The worst-degraded workload.
+    pub fn worst(&self) -> Option<&OverheadRow> {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.degradation().total_cmp(&b.degradation()))
+    }
+
+    /// UnixBench-style geometric-mean index of normalized scores
+    /// (`on/off`), if computable.
+    pub fn index(&self) -> Option<f64> {
+        let ratios: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.score_off > 0.0)
+            .map(|r| r.score_on / r.score_off)
+            .collect();
+        geometric_mean(&ratios)
+    }
+
+    /// `(label, degradation)` pairs for chart rendering.
+    pub fn bars(&self) -> Vec<(String, f64)> {
+        self.rows
+            .iter()
+            .map(|r| (r.name.clone(), r.degradation() * 100.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> OverheadReport {
+        OverheadReport {
+            tasks: 1,
+            rows: vec![
+                OverheadRow {
+                    name: "a".into(),
+                    score_off: 100.0,
+                    score_on: 99.0,
+                },
+                OverheadRow {
+                    name: "b".into(),
+                    score_off: 200.0,
+                    score_on: 192.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn degradation_math() {
+        let r = report();
+        assert!((r.rows[0].degradation() - 0.01).abs() < 1e-12);
+        assert!((r.rows[1].degradation() - 0.04).abs() < 1e-12);
+        assert!((r.mean_degradation() - 0.025).abs() < 1e-12);
+        assert_eq!(r.worst().unwrap().name, "b");
+    }
+
+    #[test]
+    fn index_is_geometric_mean_of_ratios() {
+        let r = report();
+        let idx = r.index().unwrap();
+        assert!((idx - (0.99f64 * 0.96).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_rows() {
+        let r = OverheadReport {
+            tasks: 1,
+            rows: vec![],
+        };
+        assert_eq!(r.mean_degradation(), 0.0);
+        assert!(r.worst().is_none());
+        let z = OverheadRow {
+            name: "z".into(),
+            score_off: 0.0,
+            score_on: 0.0,
+        };
+        assert_eq!(z.degradation(), 0.0);
+    }
+
+    #[test]
+    fn bars_in_percent() {
+        let r = report();
+        let bars = r.bars();
+        assert_eq!(bars.len(), 2);
+        assert!((bars[1].1 - 4.0).abs() < 1e-9);
+    }
+}

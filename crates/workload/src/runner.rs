@@ -1,0 +1,166 @@
+//! The overhead-study harness: each workload × {SATIN off, SATIN on}.
+
+use crate::report::{OverheadReport, OverheadRow};
+use crate::suite::Workload;
+use satin_core::{Satin, SatinConfig};
+use satin_kernel::{Affinity, SchedClass, TaskId};
+use satin_mem::layout::GETTID_NR;
+use satin_sim::{SimDuration, SimTime};
+use satin_system::{RunCtx, RunOutcome, SystemBuilder, ThreadBody};
+
+/// Overhead-study configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadConfig {
+    /// Simulated duration of each benchmark run.
+    pub duration: SimDuration,
+    /// Parallel copies of the benchmark (1-task vs 6-task in the paper).
+    pub tasks: usize,
+    /// SATIN configuration used for the "on" runs.
+    pub satin: SatinConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl OverheadConfig {
+    /// The paper-shaped study: 300 s per run (≈37 introspection rounds at
+    /// tp = 8 s), with the paper's SATIN configuration.
+    pub fn paper(tasks: usize, seed: u64) -> Self {
+        OverheadConfig {
+            duration: SimDuration::from_secs(300),
+            tasks,
+            satin: SatinConfig::paper(),
+            seed,
+        }
+    }
+}
+
+/// A benchmark task body: occupy the CPU in quanta, occasionally exercising
+/// the syscall table, forever.
+struct BenchBody {
+    quantum: SimDuration,
+    syscalls: u32,
+}
+
+impl ThreadBody for BenchBody {
+    fn on_run(&mut self, ctx: &mut RunCtx<'_>) -> RunOutcome {
+        for _ in 0..self.syscalls {
+            let _ = ctx.resolve_syscall(GETTID_NR);
+        }
+        RunOutcome::yield_after(self.quantum)
+    }
+}
+
+/// Runs one benchmark once and returns its score (effective seconds summed
+/// over copies × nominal rate).
+pub fn run_single(
+    workload: &Workload,
+    tasks: usize,
+    duration: SimDuration,
+    satin: Option<SatinConfig>,
+    seed: u64,
+) -> f64 {
+    assert!(tasks > 0, "at least one task");
+    let mut sys = SystemBuilder::new().seed(seed).trace(false).build();
+    let n = sys.num_cores();
+    let mut tids: Vec<TaskId> = Vec::new();
+    for i in 0..tasks {
+        let t = sys.spawn(
+            format!("{}-{i}", workload.name),
+            SchedClass::cfs(),
+            Affinity::any(n),
+            BenchBody {
+                quantum: workload.quantum,
+                syscalls: workload.syscalls_per_quantum,
+            },
+        );
+        sys.set_sensitivity(t, workload.sensitivity);
+        sys.wake_at(t, SimTime::ZERO);
+        tids.push(t);
+    }
+    if let Some(cfg) = satin {
+        let (service, _handle) = Satin::new(cfg);
+        sys.install_secure_service(service);
+    }
+    sys.run_until(SimTime::ZERO + duration);
+    let effective: f64 = tids.iter().map(|t| sys.work_secs(*t)).sum();
+    effective * workload.ops_per_sec
+}
+
+/// Runs the full study over `suite`, producing one row per workload.
+pub fn run_overhead_study(suite: &[Workload], config: OverheadConfig) -> OverheadReport {
+    let rows = suite
+        .iter()
+        .map(|w| {
+            let off = run_single(w, config.tasks, config.duration, None, config.seed);
+            let on = run_single(
+                w,
+                config.tasks,
+                config.duration,
+                Some(config.satin),
+                config.seed,
+            );
+            OverheadRow {
+                name: w.name.to_string(),
+                score_off: off,
+                score_on: on,
+            }
+        })
+        .collect();
+    OverheadReport {
+        tasks: config.tasks,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::unixbench_suite;
+
+    #[test]
+    fn scores_scale_with_duration() {
+        let w = &unixbench_suite()[0];
+        let s1 = run_single(w, 1, SimDuration::from_secs(2), None, 9);
+        let s2 = run_single(w, 1, SimDuration::from_secs(4), None, 9);
+        assert!(s2 > 1.8 * s1, "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn six_tasks_score_more_than_one() {
+        let w = &unixbench_suite()[0];
+        let one = run_single(w, 1, SimDuration::from_secs(2), None, 9);
+        let six = run_single(w, 6, SimDuration::from_secs(2), None, 9);
+        // Six copies on six cores: close to 6× the aggregate (A53 cores are
+        // slower, so not exactly 6×).
+        let ratio = six / one;
+        assert!((3.0..6.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn satin_costs_something_but_little() {
+        // Shorter run with a faster tp so several rounds land.
+        let mut satin = SatinConfig::paper();
+        satin.tgoal = SimDuration::from_secs(19); // tp = 1s
+        let w = crate::suite::unixbench_suite()
+            .into_iter()
+            .find(|w| w.name == "pipe-based context switching")
+            .unwrap();
+        let off = run_single(&w, 1, SimDuration::from_secs(30), None, 10);
+        let on = run_single(&w, 1, SimDuration::from_secs(30), Some(satin), 10);
+        let degradation = 1.0 - on / off;
+        // tp = 1s means ~8x the paper's round rate, so the most sensitive
+        // workload degrades several percent — but nowhere near freezing.
+        assert!(degradation > 0.005, "degradation {degradation}");
+        assert!(degradation < 0.6, "degradation {degradation}");
+    }
+
+    #[test]
+    fn study_produces_all_rows() {
+        let suite: Vec<_> = unixbench_suite().into_iter().take(3).collect();
+        let mut cfg = OverheadConfig::paper(1, 5);
+        cfg.duration = SimDuration::from_secs(10);
+        let report = run_overhead_study(&suite, cfg);
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.rows.iter().all(|r| r.score_off > 0.0));
+    }
+}

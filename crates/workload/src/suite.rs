@@ -1,0 +1,159 @@
+//! The workload descriptors.
+
+use satin_sim::SimDuration;
+
+/// One UnixBench-like workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Benchmark name, matching the paper's Figure 7 labels.
+    pub name: &'static str,
+    /// Cache/interference sensitivity in `[0, 1]`: how strongly the
+    /// workload's throughput suffers inside a post-introspection
+    /// interference window. Small-working-set compute (Dhrystone) is nearly
+    /// immune; small-buffer copies and context switching live and die by
+    /// cache state.
+    pub sensitivity: f64,
+    /// CPU time per activation (between scheduler yields).
+    pub quantum: SimDuration,
+    /// Nominal operations per effective second (sets the score scale; has
+    /// no effect on *relative* degradation).
+    pub ops_per_sec: f64,
+    /// Syscall invocations per activation (exercises the syscall table; the
+    /// "System Call Overhead" benchmark is the extreme).
+    pub syscalls_per_quantum: u32,
+}
+
+/// The twelve-benchmark suite mirroring the paper's Figure 7.
+///
+/// Sensitivities are the calibration that reproduces Figure 7's *shape*:
+/// `pipe-based context switching` and `file copy 256B` at the top,
+/// arithmetic kernels at the bottom.
+pub fn unixbench_suite() -> Vec<Workload> {
+    let q = SimDuration::from_millis(1);
+    vec![
+        Workload {
+            name: "dhrystone 2",
+            sensitivity: 0.01,
+            quantum: q,
+            ops_per_sec: 25_000_000.0,
+            syscalls_per_quantum: 0,
+        },
+        Workload {
+            name: "whetstone",
+            sensitivity: 0.01,
+            quantum: q,
+            ops_per_sec: 4_000.0,
+            syscalls_per_quantum: 0,
+        },
+        Workload {
+            name: "execl throughput",
+            sensitivity: 0.03,
+            quantum: q,
+            ops_per_sec: 900.0,
+            syscalls_per_quantum: 4,
+        },
+        Workload {
+            name: "file copy 256B",
+            sensitivity: 0.91,
+            quantum: q,
+            ops_per_sec: 120_000.0,
+            syscalls_per_quantum: 8,
+        },
+        Workload {
+            name: "file copy 1024B",
+            sensitivity: 0.06,
+            quantum: q,
+            ops_per_sec: 220_000.0,
+            syscalls_per_quantum: 8,
+        },
+        Workload {
+            name: "file copy 4096B",
+            sensitivity: 0.03,
+            quantum: q,
+            ops_per_sec: 380_000.0,
+            syscalls_per_quantum: 8,
+        },
+        Workload {
+            name: "pipe throughput",
+            sensitivity: 0.04,
+            quantum: q,
+            ops_per_sec: 500_000.0,
+            syscalls_per_quantum: 6,
+        },
+        Workload {
+            name: "pipe-based context switching",
+            sensitivity: 1.0,
+            quantum: SimDuration::from_micros(500),
+            ops_per_sec: 90_000.0,
+            syscalls_per_quantum: 6,
+        },
+        Workload {
+            name: "process creation",
+            sensitivity: 0.03,
+            quantum: q,
+            ops_per_sec: 2_500.0,
+            syscalls_per_quantum: 4,
+        },
+        Workload {
+            name: "shell scripts (1)",
+            sensitivity: 0.02,
+            quantum: q,
+            ops_per_sec: 1_800.0,
+            syscalls_per_quantum: 3,
+        },
+        Workload {
+            name: "shell scripts (8)",
+            sensitivity: 0.025,
+            quantum: q,
+            ops_per_sec: 240.0,
+            syscalls_per_quantum: 3,
+        },
+        Workload {
+            name: "system call overhead",
+            sensitivity: 0.015,
+            quantum: SimDuration::from_micros(500),
+            ops_per_sec: 1_200_000.0,
+            syscalls_per_quantum: 16,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_benchmarks() {
+        assert_eq!(unixbench_suite().len(), 12);
+    }
+
+    #[test]
+    fn sensitivities_valid_and_shaped() {
+        let suite = unixbench_suite();
+        for w in &suite {
+            assert!((0.0..=1.0).contains(&w.sensitivity), "{}", w.name);
+            assert!(w.ops_per_sec > 0.0);
+            assert!(!w.quantum.is_zero());
+        }
+        // The paper's two worst offenders top the sensitivity ranking.
+        let max = suite
+            .iter()
+            .max_by(|a, b| a.sensitivity.total_cmp(&b.sensitivity))
+            .unwrap();
+        assert_eq!(max.name, "pipe-based context switching");
+        let copy256 = suite.iter().find(|w| w.name == "file copy 256B").unwrap();
+        assert!(suite
+            .iter()
+            .filter(|w| w.name != max.name && w.name != copy256.name)
+            .all(|w| w.sensitivity < copy256.sensitivity));
+    }
+
+    #[test]
+    fn names_unique() {
+        let suite = unixbench_suite();
+        let mut names: Vec<_> = suite.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+}

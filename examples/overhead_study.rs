@@ -1,0 +1,38 @@
+//! The paper's Figure 7: SATIN's overhead on a UnixBench-like suite.
+//!
+//! ```sh
+//! cargo run --release --example overhead_study            # 120s per run
+//! cargo run --release --example overhead_study -- --long  # 600s per run
+//! ```
+
+use satin::stats::chart;
+use satin::stats::fmt_percent;
+use satin::workload::{run_overhead_study, unixbench_suite, OverheadConfig};
+use satin_sim::SimDuration;
+
+fn main() {
+    let long = std::env::args().any(|a| a == "--long");
+    let duration = SimDuration::from_secs(if long { 600 } else { 120 });
+    let suite = unixbench_suite();
+
+    for tasks in [1usize, 6] {
+        let mut config = OverheadConfig::paper(tasks, 77 + tasks as u64);
+        config.duration = duration;
+        println!(
+            "== {tasks}-task: {} workloads × {:.0}s each, SATIN off vs on ==",
+            suite.len(),
+            duration.as_secs_f64()
+        );
+        let report = run_overhead_study(&suite, config);
+        print!("{}", chart::bar_chart(&report.bars(), 44, "%"));
+        println!(
+            "mean degradation {} (paper: {})   UnixBench-style index {:.4}\n",
+            fmt_percent(report.mean_degradation(), 3),
+            if tasks == 1 { "0.711%" } else { "0.848%" },
+            report.index().unwrap_or(f64::NAN)
+        );
+    }
+    println!("note: absolute percentages depend on the interference-window");
+    println!("calibration (DESIGN.md); the *shape* — which workloads suffer —");
+    println!("is the reproduced result.");
+}

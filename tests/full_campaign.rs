@@ -1,0 +1,80 @@
+//! End-to-end integration: the paper's two headline results, back to back,
+//! through the public facade.
+
+use satin::attack::{TzEvader, TzEvaderConfig};
+use satin::core::baseline::{BaselineConfig, NaiveIntrospection};
+use satin::prelude::*;
+
+/// §IV: TZ-Evader defeats the strongest monolithic baseline.
+#[test]
+fn evasion_beats_randomized_baseline() {
+    let mut sys = SystemBuilder::new().seed(9001).trace(false).build();
+    let (baseline, defense) =
+        NaiveIntrospection::new(BaselineConfig::randomized(SimDuration::from_millis(250)));
+    sys.install_secure_service(baseline);
+    let evader = TzEvader::deploy(&mut sys, TzEvaderConfig::paper_default());
+    sys.run_until(SimTime::from_secs(4));
+
+    assert!(defense.rounds() >= 5, "{} rounds", defense.rounds());
+    assert_eq!(defense.tampered_rounds(), 0, "baseline caught the evader");
+    let uptime =
+        evader.rootkit.active_time(sys.now()).as_secs_f64() / sys.now().as_secs_f64();
+    assert!(uptime > 0.5, "attack uptime {uptime}");
+}
+
+/// §VI-B1: SATIN detects the same evader.
+#[test]
+fn satin_beats_the_same_evader() {
+    let mut sys = SystemBuilder::new().seed(9002).trace(false).build();
+    let mut cfg = SatinConfig::paper();
+    cfg.tgoal = SimDuration::from_secs(19); // tp = 1 s
+    let (satin, handle) = Satin::new(cfg);
+    sys.install_secure_service(satin);
+    let evader = TzEvader::deploy(&mut sys, TzEvaderConfig::paper_default());
+
+    while handle.round_count() < 57 {
+        sys.run_for(SimDuration::from_secs(1));
+    }
+
+    let area = satin::mem::PAPER_SYSCALL_AREA;
+    let mut live = 0;
+    let mut caught = 0;
+    for r in handle.rounds().iter() {
+        if r.area == area && evader.rootkit.was_active_at(r.fired) {
+            live += 1;
+            if r.tampered {
+                caught += 1;
+            }
+        }
+    }
+    assert!(live >= 1, "no round raced the live hijack");
+    assert_eq!(caught, live, "SATIN lost a race: {caught}/{live}");
+    // Full coverage property: three sweeps cover every area three times.
+    assert!(handle.full_sweeps() >= 2);
+    for a in 0..handle.num_areas() {
+        assert!(handle.coverage(a).checks >= 2, "area {a} under-covered");
+    }
+}
+
+/// The evader remains stealthy against SATIN between rounds: its syscall
+/// hijack is re-installed after every hide (APT persistence), and SATIN's
+/// alarms point only at the genuinely attacked area.
+#[test]
+fn alarms_are_precise() {
+    let mut sys = SystemBuilder::new().seed(9003).trace(false).build();
+    let mut cfg = SatinConfig::paper();
+    cfg.tgoal = SimDuration::from_secs(19);
+    let (satin, handle) = Satin::new(cfg);
+    sys.install_secure_service(satin);
+    let _evader = TzEvader::deploy(&mut sys, TzEvaderConfig::paper_default());
+    sys.run_until(SimTime::from_secs(40));
+
+    let alarms = handle.alarms();
+    assert!(!alarms.is_empty(), "no alarms in 40 s");
+    assert!(
+        alarms
+            .iter()
+            .all(|a| a.area == satin::mem::PAPER_SYSCALL_AREA),
+        "false-positive alarm outside the attacked area"
+    );
+}

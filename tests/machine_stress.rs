@@ -1,0 +1,124 @@
+//! Randomized machine-level stress: arbitrary task mixes plus SATIN, with
+//! global invariants checked after the dust settles. This is the
+//! cross-crate analogue of the per-module property tests (DESIGN.md §7).
+
+use satin::attack::{TzEvader, TzEvaderConfig};
+use satin::prelude::*;
+use satin_sim::SimRng;
+
+/// Builds a randomized mix of CFS/RT tasks with random affinities,
+/// sleep/yield patterns and lifetimes, runs it alongside SATIN and the
+/// evader, and checks invariants.
+fn stress_once(seed: u64) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut sys = SystemBuilder::new().seed(seed).trace(false).build();
+    let n = sys.num_cores();
+
+    let mut cfg = SatinConfig::paper();
+    cfg.tgoal = SimDuration::from_secs(19);
+    let (satin, handle) = Satin::new(cfg);
+    sys.install_secure_service(satin);
+    let _evader = TzEvader::deploy(&mut sys, TzEvaderConfig::paper_default());
+
+    let task_count = 3 + rng.below(12) as usize;
+    let mut tasks = Vec::new();
+    for i in 0..task_count {
+        let class = if rng.chance(0.3) {
+            SchedClass::RtFifo {
+                priority: 1 + rng.below(90) as u8,
+            }
+        } else {
+            SchedClass::Cfs {
+                nice: rng.int_range_inclusive(0, 29) as i8 - 10,
+            }
+        };
+        let affinity = if rng.chance(0.5) {
+            Affinity::pinned(CoreId::new(rng.below(n as u64) as usize))
+        } else {
+            Affinity::any(n)
+        };
+        let busy_us = 10 + rng.below(3_000);
+        let sleep_us = 50 + rng.below(5_000);
+        let exit_after = rng.below(500);
+        let mut activations = 0u64;
+        let body = move |_: &mut RunCtx<'_>| {
+            activations += 1;
+            if exit_after > 0 && activations > exit_after {
+                RunOutcome::exit_after(SimDuration::from_micros(busy_us))
+            } else if activations % 7 == 0 {
+                RunOutcome::yield_after(SimDuration::from_micros(busy_us))
+            } else {
+                RunOutcome::sleep_after(
+                    SimDuration::from_micros(busy_us),
+                    SimDuration::from_micros(sleep_us),
+                )
+            }
+        };
+        let t = sys.spawn(format!("stress-{i}"), class, affinity, body);
+        sys.wake_at(t, SimTime::from_micros(rng.below(10_000)));
+        tasks.push(t);
+    }
+
+    let horizon = SimTime::from_secs(5);
+    sys.run_until(horizon);
+
+    // Invariant: simulated time landed exactly on the horizon.
+    assert_eq!(sys.now(), horizon);
+    // Invariant: every task's CPU time is within the elapsed wall time.
+    for &t in &tasks {
+        let cpu = sys.task(t).cpu_time().as_secs_f64();
+        assert!(cpu <= 5.0 + 1e-9, "task {t:?} cpu {cpu}s > wall");
+    }
+    // Invariant: total CPU across all tasks fits on n cores.
+    let total: f64 = (0..sys.sched().tasks().len())
+        .map(|i| {
+            sys.task(satin::kernel::TaskId::new(i as u64))
+                .cpu_time()
+                .as_secs_f64()
+        })
+        .sum();
+    assert!(
+        total <= 5.0 * n as f64 + 1e-6,
+        "total cpu {total}s exceeds {n} cores"
+    );
+    // Invariant: SATIN kept running through the noise.
+    assert!(
+        handle.round_count() >= 2,
+        "only {} rounds under stress",
+        handle.round_count()
+    );
+    // Invariant: the secure world never lost an in-flight session.
+    for i in 0..n {
+        assert!(
+            !sys.core_in_secure_world(CoreId::new(i))
+                || sys.platform().monitor().world(CoreId::new(i)).is_secure()
+        );
+    }
+}
+
+#[test]
+fn randomized_stress_ten_seeds() {
+    for seed in 4000..4010 {
+        stress_once(seed);
+    }
+}
+
+#[test]
+fn stress_is_deterministic() {
+    // Re-running a stress seed must reproduce identical SATIN schedules.
+    let run = |seed: u64| {
+        let mut sys = SystemBuilder::new().seed(seed).trace(false).build();
+        let mut cfg = SatinConfig::paper();
+        cfg.tgoal = SimDuration::from_secs(19);
+        let (satin, handle) = Satin::new(cfg);
+        sys.install_secure_service(satin);
+        let _e = TzEvader::deploy(&mut sys, TzEvaderConfig::paper_default());
+        sys.run_until(SimTime::from_secs(6));
+        handle
+            .rounds()
+            .iter()
+            .map(|r| (r.fired.as_nanos(), r.core.index(), r.area))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(4242), run(4242));
+}

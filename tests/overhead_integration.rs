@@ -1,0 +1,56 @@
+//! Integration smoke of the Figure 7 pipeline through the facade.
+
+use satin::core::SatinConfig;
+use satin::workload::{run_overhead_study, unixbench_suite, OverheadConfig};
+use satin_sim::SimDuration;
+
+#[test]
+fn overhead_ordering_matches_figure7() {
+    // Short run with a fast tp: 60 s with tp = 1 s samples ~60 rounds.
+    let mut satin = SatinConfig::paper();
+    satin.tgoal = SimDuration::from_secs(19);
+    let picks: Vec<_> = unixbench_suite()
+        .into_iter()
+        .filter(|w| {
+            matches!(
+                w.name,
+                "dhrystone 2" | "file copy 256B" | "pipe-based context switching"
+            )
+        })
+        .collect();
+    let config = OverheadConfig {
+        duration: SimDuration::from_secs(60),
+        tasks: 1,
+        satin,
+        seed: 14,
+    };
+    let report = run_overhead_study(&picks, config);
+    let get = |n: &str| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.name == n)
+            .unwrap()
+            .degradation()
+    };
+    let dhry = get("dhrystone 2");
+    let copy = get("file copy 256B");
+    let ctx = get("pipe-based context switching");
+    // Shape: ctx switching ≥ file copy 256B ≫ dhrystone; all positive.
+    assert!(ctx > copy * 0.9, "ctx {ctx} vs copy {copy}");
+    assert!(copy > 5.0 * dhry.max(1e-5), "copy {copy} vs dhry {dhry}");
+    assert!(ctx < 0.5, "degradation {ctx} implausibly large");
+    // Scores degrade, never improve.
+    for r in &report.rows {
+        assert!(r.score_on <= r.score_off * 1.001, "{} improved?", r.name);
+    }
+}
+
+#[test]
+fn no_satin_means_no_degradation() {
+    let suite = unixbench_suite();
+    let w = &suite[0];
+    let a = satin::workload::runner::run_single(w, 1, SimDuration::from_secs(5), None, 3);
+    let b = satin::workload::runner::run_single(w, 1, SimDuration::from_secs(5), None, 3);
+    assert_eq!(a, b, "identical runs must produce identical scores");
+}
