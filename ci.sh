@@ -1,0 +1,20 @@
+#!/bin/sh
+# Local CI gate: everything a pull request must pass, in dependency order.
+# Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy -q --workspace --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "CI OK"

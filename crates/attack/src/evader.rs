@@ -106,10 +106,10 @@ mod tests {
             let mem = ctx.mem();
             let range = ctx.layout().range();
             let mut table = satin_hash::AuthorizedHashTable::new(satin_hash::HashAlgorithm::Djb2);
-            table.enroll(0, satin_hash::hash_bytes(
-                satin_hash::HashAlgorithm::Djb2,
-                mem.read(range).unwrap(),
-            ));
+            table.enroll(
+                0,
+                satin_hash::hash_bytes(satin_hash::HashAlgorithm::Djb2, mem.read(range).unwrap()),
+            );
             self.table = Some(table);
             // Random core for the first round.
             let n = ctx.num_cores() as u64;
@@ -140,8 +140,7 @@ mod tests {
             observed: &[u8],
             ctx: &mut SecureCtx<'_>,
         ) {
-            let digest =
-                satin_hash::hash_bytes(satin_hash::HashAlgorithm::Djb2, observed);
+            let digest = satin_hash::hash_bytes(satin_hash::HashAlgorithm::Djb2, observed);
             let table = self.table.as_ref().expect("booted");
             *self.rounds.borrow_mut() += 1;
             if table.verify(request.area_id, digest).is_tampered() {
@@ -170,7 +169,11 @@ mod tests {
         let evader = TzEvader::deploy(&mut sys, TzEvaderConfig::paper_default());
         sys.run_until(SimTime::from_millis(1400));
 
-        assert!(*rounds.borrow() >= 3, "introspection ran {} rounds", *rounds.borrow());
+        assert!(
+            *rounds.borrow() >= 3,
+            "introspection ran {} rounds",
+            *rounds.borrow()
+        );
         assert_eq!(
             *tampered.borrow(),
             0,

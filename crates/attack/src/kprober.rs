@@ -14,7 +14,7 @@ use crate::prober::{deploy_prober_threads, ProberConfig, ProberShared};
 use satin_hw::CoreId;
 use satin_kernel::vector::{VectorSlot, VectorTable};
 use satin_kernel::{Affinity, SchedClass, TaskId};
-use satin_sim::{SimDuration, SimTime};
+use satin_sim::{SimDuration, SimTime, TraceCategory};
 use satin_system::{RunCtx, RunOutcome, System, TickHook};
 
 /// Which prober implementation to deploy.
@@ -113,7 +113,7 @@ pub fn deploy_kprober_i(
             let stub = [0x14u8; 32];
             ctx.write_kernel(entry.start(), &stub)
                 .expect("vector table inside memory");
-            ctx.trace("attack.kprober1", "IRQ vector hijacked");
+            ctx.trace(TraceCategory::AttackKprober, "IRQ vector hijacked");
             RunOutcome::exit_after(SimDuration::from_micros(10))
         },
     );

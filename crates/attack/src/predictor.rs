@@ -19,7 +19,7 @@ use crate::channel::EvaderChannel;
 use crate::rootkit::{deploy_rootkit, RootkitConfig, RootkitHandle};
 use satin_hw::CoreId;
 use satin_kernel::{Affinity, SchedClass, TaskId};
-use satin_sim::{SimDuration, SimTime};
+use satin_sim::{SimDuration, SimTime, TraceCategory};
 use satin_system::{RunCtx, RunOutcome, System, ThreadBody};
 
 /// Configuration of the schedule predictor.
@@ -74,7 +74,10 @@ impl ThreadBody for PredictorBody {
             // which is why the margin must exceed it).
             self.channel
                 .report_detection(now, ctx.core(), SimDuration::ZERO);
-            ctx.trace("attack.predict", format!("hiding for wake #{}", self.next_grid));
+            ctx.trace(
+                TraceCategory::AttackPredict,
+                format!("hiding for wake #{}", self.next_grid),
+            );
             self.next_grid += 1;
             // Sleep past the predicted scan so the quiet-period logic
             // reinstalls afterwards.
@@ -107,10 +110,12 @@ pub fn deploy_predictive_evader(
     start: SimTime,
 ) -> (PredictiveEvader, TaskId) {
     let channel = EvaderChannel::new();
-    let mut rk_cfg = RootkitConfig::default();
     // Stay down for the whole predicted scan window: the rootkit's
     // autonomous reinstall must not fire mid-scan.
-    rk_cfg.quiet_before_reinstall = config.reappear_after;
+    let rk_cfg = RootkitConfig {
+        quiet_before_reinstall: config.reappear_after,
+        ..RootkitConfig::default()
+    };
     let (_, rootkit) = deploy_rootkit(sys, CoreId::new(3), rk_cfg, &channel, start);
     let body = PredictorBody {
         config,
@@ -145,10 +150,7 @@ mod tests {
         sys.install_secure_service(satin);
         // Oracle: with randomize_wake=false the queue hands out exact
         // tp-spaced times from t=0.
-        let predictor = PredictorConfig::oracle(
-            SimDuration::from_millis(500),
-            SimTime::ZERO,
-        );
+        let predictor = PredictorConfig::oracle(SimDuration::from_millis(500), SimTime::ZERO);
         let (_evader, _) = deploy_predictive_evader(&mut sys, predictor, SimTime::ZERO);
         sys.run_until(SimTime::from_secs(25));
         let rounds = handle.rounds();

@@ -229,7 +229,9 @@ pub fn deploy_prober_threads(
                 format!("reporter-{target}"),
                 class,
                 Affinity::pinned(target),
-                ReporterOnlyBody { sleep: config.sleep },
+                ReporterOnlyBody {
+                    sleep: config.sleep,
+                },
             );
             let cmp = sys.spawn(
                 format!("comparer-{observer}"),
@@ -263,7 +265,13 @@ pub fn measure_round(seed: u64, period: SimDuration, targets: ProbeTargets) -> f
         .build();
     let shared = ProberShared::new();
     let config = ProberConfig::measurement(SimDuration::from_micros(200), targets);
-    deploy_prober_threads(&mut sys, SchedClass::rt_max(), config, &shared, SimTime::ZERO);
+    deploy_prober_threads(
+        &mut sys,
+        SchedClass::rt_max(),
+        config,
+        &shared,
+        SimTime::ZERO,
+    );
     // Warm up so every core has published at least once, then measure.
     let warmup = SimDuration::from_millis(5);
     sys.run_for(warmup);
@@ -373,7 +381,8 @@ mod tests {
         struct OneScan;
         impl SecureService for OneScan {
             fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
-                ctx.arm_core(CoreId::new(4), SimTime::from_millis(20)).unwrap();
+                ctx.arm_core(CoreId::new(4), SimTime::from_millis(20))
+                    .unwrap();
             }
             fn on_secure_timer(
                 &mut self,
@@ -396,7 +405,10 @@ mod tests {
             }
         }
 
-        let mut sys = satin_system::SystemBuilder::new().seed(5).trace(false).build();
+        let mut sys = satin_system::SystemBuilder::new()
+            .seed(5)
+            .trace(false)
+            .build();
         let ch = EvaderChannel::new();
         let shared = ProberShared::with_channel(ch.clone());
         deploy_prober_threads(
@@ -414,7 +426,9 @@ mod tests {
         assert!(det.iter().all(|d| d.core == CoreId::new(4)));
         // Detection latency from the 20ms fire must be under Tns_delay ≈ 2ms.
         let first = det[0].at;
-        let latency = first.saturating_since(SimTime::from_millis(20)).as_secs_f64();
+        let latency = first
+            .saturating_since(SimTime::from_millis(20))
+            .as_secs_f64();
         assert!(latency < 2.5e-3, "detection latency {latency}s too large");
     }
 }

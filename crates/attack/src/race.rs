@@ -67,16 +67,8 @@ impl RaceParams {
     /// scanned by A53 cores. Use this variant to size areas for a true
     /// guarantee (≈544 KB on the calibrated model).
     pub fn defender_guaranteed(timing: &TimingModel) -> Self {
-        let slowest_scan = timing
-            .a53
-            .hash_1byte
-            .max()
-            .max(timing.a57.hash_1byte.max());
-        let fastest_recover = timing
-            .a53
-            .recover
-            .min()
-            .min(timing.a57.recover.min());
+        let slowest_scan = timing.a53.hash_1byte.max().max(timing.a57.hash_1byte.max());
+        let fastest_recover = timing.a53.recover.min().min(timing.a57.recover.min());
         RaceParams {
             // Attacker reacts as early as possible: minimal switch cost…
             ts_switch: timing.ts_switch.lo(),

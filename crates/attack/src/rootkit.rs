@@ -11,7 +11,7 @@ use crate::channel::EvaderChannel;
 use satin_hw::CoreId;
 use satin_kernel::{Affinity, SchedClass, TaskId};
 use satin_mem::layout::GETTID_NR;
-use satin_sim::{SimDuration, SimTime};
+use satin_sim::{SimDuration, SimTime, TraceCategory};
 use satin_system::{RunCtx, RunOutcome, System, ThreadBody};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -188,7 +188,10 @@ impl RootkitBody {
         i.active_since = Some(ctx.now());
         i.events.push(LifecycleEvent::Installed(ctx.now()));
         drop(i);
-        ctx.trace("attack.install", format!("hijacked syscall {}", self.config.syscall_nr));
+        ctx.trace(
+            TraceCategory::AttackInstall,
+            format!("hijacked syscall {}", self.config.syscall_nr),
+        );
     }
 
     fn restore(&mut self, ctx: &mut RunCtx<'_>) {
@@ -199,7 +202,8 @@ impl RootkitBody {
             .borrow()
             .genuine
             .expect("restore before install");
-        ctx.write_kernel(addr, &genuine).expect("table inside memory");
+        ctx.write_kernel(addr, &genuine)
+            .expect("table inside memory");
         let now = ctx.now();
         let mut i = self.handle.inner.borrow_mut();
         if let Some(since) = i.active_since.take() {
@@ -209,7 +213,7 @@ impl RootkitBody {
         i.last_restore_at = Some(now);
         i.events.push(LifecycleEvent::Restored(now));
         drop(i);
-        ctx.trace("attack.restore", "traces cleaned");
+        ctx.trace(TraceCategory::AttackRestore, "traces cleaned");
     }
 }
 
@@ -229,7 +233,10 @@ impl RootkitBody {
         }
         self.channel.begin_hide();
         self.phase = Phase::Recovering;
-        ctx.trace("attack.hide", format!("recovery started on {}", ctx.core()));
+        ctx.trace(
+            TraceCategory::AttackHide,
+            format!("recovery started on {}", ctx.core()),
+        );
         // The recovery work occupies the CPU for Tns_recover; the actual
         // restore write lands when it completes.
         let recover = ctx.recovery_cost();
@@ -274,7 +281,9 @@ impl ThreadBody for RootkitBody {
                 if self.role == RootkitRole::Leader
                     && self.config.auto_reinstall
                     && !self.handle.is_active()
-                    && self.channel.all_clear(ctx.now(), self.config.quiet_before_reinstall)
+                    && self
+                        .channel
+                        .all_clear(ctx.now(), self.config.quiet_before_reinstall)
                 {
                     self.channel.clear_hide_request();
                     self.install(ctx);

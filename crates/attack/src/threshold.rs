@@ -25,7 +25,9 @@ pub fn learn_threshold(round_maxima: &[f64], safety_margin: f64) -> Option<f64> 
     round_maxima
         .iter()
         .copied()
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
         .map(|m| m * safety_margin)
 }
 

@@ -14,6 +14,7 @@ fn bench(c: &mut Criterion) {
                 rounds: 19,
                 tgoal: SimDuration::from_millis(9_500),
                 seed: 3,
+                trace: false,
             })
         })
     });

@@ -43,7 +43,11 @@ impl DefenseOutcome {
 }
 
 /// Pits a monolithic-scan baseline against TZ-Evader.
-pub fn baseline_vs_evader(config: BaselineConfig, horizon: SimDuration, seed: u64) -> DefenseOutcome {
+pub fn baseline_vs_evader(
+    config: BaselineConfig,
+    horizon: SimDuration,
+    seed: u64,
+) -> DefenseOutcome {
     let mut sys = SystemBuilder::new().seed(seed).trace(false).build();
     let (svc, handle) = NaiveIntrospection::new(config);
     sys.install_secure_service(svc);
@@ -89,8 +93,7 @@ pub fn satin_vs_evader(
         sys.run_for(tgoal / 19);
     }
     // Identify rounds covering the syscall entry under the active hijack.
-    let gettid = satin_mem::KernelLayout::paper()
-        .syscall_entry_addr(satin_mem::layout::GETTID_NR);
+    let gettid = satin_mem::KernelLayout::paper().syscall_entry_addr(satin_mem::layout::GETTID_NR);
     let target_area = plan.area_of(gettid).expect("gettid inside plan");
     let mut attacked = 0;
     let mut detected = 0;
@@ -117,11 +120,7 @@ pub fn satin_vs_evader(
 /// respect the §V-B bound score 1.0; a monolithic plan scores ≈0.10.
 pub fn protected_fraction(plan: &satin_core::AreaPlan) -> f64 {
     let s = RaceParams::paper_worst_case().protected_prefix_bytes();
-    let protected: u64 = plan
-        .areas()
-        .iter()
-        .map(|a| a.range.len().min(s))
-        .sum();
+    let protected: u64 = plan.areas().iter().map(|a| a.range.len().min(s)).sum();
     protected as f64 / plan.total_bytes() as f64
 }
 
@@ -144,8 +143,8 @@ pub fn area_size_sweep(
             let mut cfg = SatinConfig::paper();
             cfg.area_policy = AreaPolicy::Greedy { max_size };
             cfg.enforce_safety = false; // the sweep intentionally violates it
-            // Skip infeasible points: greedy cannot split a single section,
-            // so bounds below the largest section (811,080 B) are unusable.
+                                        // Skip infeasible points: greedy cannot split a single section,
+                                        // so bounds below the largest section (811,080 B) are unusable.
             let Ok(plan) = cfg.build_plan(&satin_mem::KernelLayout::paper()) else {
                 return None;
             };
@@ -174,116 +173,6 @@ pub fn affinity_probing(period: SimDuration, rounds: usize, seed: u64) -> (f64, 
     (mean(&all), mean(&single))
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn baselines_lose_satin_wins() {
-        let horizon = SimDuration::from_secs(3);
-        let fixed = baseline_vs_evader(
-            BaselineConfig::periodic_fixed(SimDuration::from_millis(400)),
-            horizon,
-            61,
-        );
-        let random = baseline_vs_evader(
-            BaselineConfig::randomized(SimDuration::from_millis(400)),
-            horizon,
-            62,
-        );
-        // The evader defeats both monolithic baselines outright.
-        assert_eq!(fixed.detections, 0, "fixed baseline caught the evader?");
-        assert_eq!(random.detections, 0, "random baseline caught the evader?");
-        assert!(fixed.attack_uptime > 0.5, "uptime {}", fixed.attack_uptime);
-
-        let satin = satin_vs_evader(
-            SatinConfig::paper(),
-            "satin",
-            57,
-            SimDuration::from_secs(19),
-            63,
-        );
-        assert!(satin.attacked_rounds >= 1);
-        assert_eq!(
-            satin.detections, satin.attacked_rounds,
-            "SATIN missed: {}/{}",
-            satin.detections, satin.attacked_rounds
-        );
-    }
-
-    #[test]
-    fn oversized_areas_reopen_the_window() {
-        // 8× the bound ≈ 9.7 MB areas: the greedy plan degenerates toward
-        // the monolithic baseline and the evader escapes again.
-        let pts = area_size_sweep(&[8.0], 40, SimDuration::from_secs(10), 64);
-        let (_, analytic, out) = &pts[0];
-        assert!(
-            out.detection_rate() < 0.5,
-            "oversized areas still detected at {}",
-            out.detection_rate()
-        );
-        // The analytic guarantee degrades monotonically with area size.
-        assert!(*analytic < 0.5, "analytic fraction {analytic}");
-        let safe = area_size_sweep(&[1.0], 1, SimDuration::from_secs(10), 64);
-        assert!((safe[0].1 - 1.0).abs() < 1e-12, "at the bound: fully protected");
-    }
-
-    #[test]
-    fn preemptive_mode_reopens_the_window() {
-        // A 60% interrupt storm stretches rounds ~2.5x: beyond the safety
-        // bound in preemptive mode, harmless in SATIN's configuration.
-        let (nonpre, pre) =
-            preemption_ablation(0.6, 40, SimDuration::from_secs(10), 71);
-        assert!(
-            nonpre.attacked_rounds >= 1 && nonpre.detection_rate() == 1.0,
-            "non-preemptive SATIN must still win: {nonpre:?}"
-        );
-        assert!(
-            pre.detection_rate() < 1.0,
-            "preemptive mode under storm should lose rounds: {pre:?}"
-        );
-    }
-
-    #[test]
-    fn satin_ports_across_core_counts() {
-        let outcomes = core_count_sweep(&[2, 4], 25, SimDuration::from_secs(10), 72);
-        for (n, out) in outcomes {
-            assert!(
-                out.attacked_rounds == 0 || out.detection_rate() == 1.0,
-                "{n}-core SATIN missed: {out:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn kprober_i_betrays_itself_to_satin() {
-        use satin_attack::kprober::ProberVariant;
-        // KProber-I: the hijacked vector entry sits in area 0 and is caught
-        // on every area-0 round.
-        let (vec1, _) = kprober_trace_detection(
-            ProberVariant::KProberI,
-            40,
-            SimDuration::from_secs(10),
-            73,
-        );
-        assert!(vec1 >= 1, "SATIN missed KProber-I's vector hijack");
-        // KProber-II leaves no kernel-text trace: area 0 stays clean.
-        let (vec2, _) = kprober_trace_detection(
-            ProberVariant::KProberII,
-            40,
-            SimDuration::from_secs(10),
-            74,
-        );
-        assert_eq!(vec2, 0, "false alarm on KProber-II");
-    }
-
-    #[test]
-    fn affinity_ratio_direction() {
-        let (all, single) = affinity_probing(SimDuration::from_secs(4), 4, 65);
-        assert!(single < all, "single {single} vs all {all}");
-    }
-}
-
 /// Ablation A4 (§II-B / §V-B): preemptive vs non-preemptive secure world
 /// under an attacker-driven interrupt storm. With `SCR_EL3.IRQ = 1` every
 /// normal-world interrupt preempts the introspection, stretching rounds
@@ -306,7 +195,11 @@ pub fn preemption_ablation(
             satin_hw::TimingModel::paper_calibrated(),
             routing,
         );
-        let mut sys = SystemBuilder::new().seed(seed).platform(platform).trace(false).build();
+        let mut sys = SystemBuilder::new()
+            .seed(seed)
+            .platform(platform)
+            .trace(false)
+            .build();
         sys.set_ns_interrupt_load(interrupt_load);
         let mut cfg = SatinConfig::paper();
         cfg.tgoal = tgoal;
@@ -321,8 +214,8 @@ pub fn preemption_ablation(
         while handle.round_count() < rounds && sys.now() < hard_stop {
             sys.run_for(tgoal / 19);
         }
-        let gettid = satin_mem::KernelLayout::paper()
-            .syscall_entry_addr(satin_mem::layout::GETTID_NR);
+        let gettid =
+            satin_mem::KernelLayout::paper().syscall_entry_addr(satin_mem::layout::GETTID_NR);
         let target_area = plan.area_of(gettid).expect("gettid inside plan");
         let mut attacked = 0;
         let mut detected = 0;
@@ -334,8 +227,7 @@ pub fn preemption_ablation(
                 }
             }
         }
-        let uptime =
-            evader.rootkit.active_time(sys.now()).as_secs_f64() / sys.now().as_secs_f64();
+        let uptime = evader.rootkit.active_time(sys.now()).as_secs_f64() / sys.now().as_secs_f64();
         DefenseOutcome {
             defense: if preemptive {
                 format!("preemptive secure world (irq load {interrupt_load})")
@@ -387,8 +279,8 @@ pub fn core_count_sweep(
             while handle.round_count() < rounds && sys.now() < hard_stop {
                 sys.run_for(tgoal / 19);
             }
-            let gettid = satin_mem::KernelLayout::paper()
-                .syscall_entry_addr(satin_mem::layout::GETTID_NR);
+            let gettid =
+                satin_mem::KernelLayout::paper().syscall_entry_addr(satin_mem::layout::GETTID_NR);
             let target_area = plan.area_of(gettid).expect("gettid inside plan");
             let mut attacked = 0;
             let mut detected = 0;
@@ -458,4 +350,108 @@ pub fn kprober_trace_detection(
         }
     }
     (vec_alarms, sys_alarms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_lose_satin_wins() {
+        let horizon = SimDuration::from_secs(3);
+        let fixed = baseline_vs_evader(
+            BaselineConfig::periodic_fixed(SimDuration::from_millis(400)),
+            horizon,
+            61,
+        );
+        let random = baseline_vs_evader(
+            BaselineConfig::randomized(SimDuration::from_millis(400)),
+            horizon,
+            62,
+        );
+        // The evader defeats both monolithic baselines outright.
+        assert_eq!(fixed.detections, 0, "fixed baseline caught the evader?");
+        assert_eq!(random.detections, 0, "random baseline caught the evader?");
+        assert!(fixed.attack_uptime > 0.5, "uptime {}", fixed.attack_uptime);
+
+        let satin = satin_vs_evader(
+            SatinConfig::paper(),
+            "satin",
+            57,
+            SimDuration::from_secs(19),
+            63,
+        );
+        assert!(satin.attacked_rounds >= 1);
+        assert_eq!(
+            satin.detections, satin.attacked_rounds,
+            "SATIN missed: {}/{}",
+            satin.detections, satin.attacked_rounds
+        );
+    }
+
+    #[test]
+    fn oversized_areas_reopen_the_window() {
+        // 8× the bound ≈ 9.7 MB areas: the greedy plan degenerates toward
+        // the monolithic baseline and the evader escapes again.
+        let pts = area_size_sweep(&[8.0], 40, SimDuration::from_secs(10), 64);
+        let (_, analytic, out) = &pts[0];
+        assert!(
+            out.detection_rate() < 0.5,
+            "oversized areas still detected at {}",
+            out.detection_rate()
+        );
+        // The analytic guarantee degrades monotonically with area size.
+        assert!(*analytic < 0.5, "analytic fraction {analytic}");
+        let safe = area_size_sweep(&[1.0], 1, SimDuration::from_secs(10), 64);
+        assert!(
+            (safe[0].1 - 1.0).abs() < 1e-12,
+            "at the bound: fully protected"
+        );
+    }
+
+    #[test]
+    fn preemptive_mode_reopens_the_window() {
+        // A 60% interrupt storm stretches rounds ~2.5x: beyond the safety
+        // bound in preemptive mode, harmless in SATIN's configuration.
+        let (nonpre, pre) = preemption_ablation(0.6, 40, SimDuration::from_secs(10), 71);
+        assert!(
+            nonpre.attacked_rounds >= 1 && nonpre.detection_rate() == 1.0,
+            "non-preemptive SATIN must still win: {nonpre:?}"
+        );
+        assert!(
+            pre.detection_rate() < 1.0,
+            "preemptive mode under storm should lose rounds: {pre:?}"
+        );
+    }
+
+    #[test]
+    fn satin_ports_across_core_counts() {
+        let outcomes = core_count_sweep(&[2, 4], 25, SimDuration::from_secs(10), 72);
+        for (n, out) in outcomes {
+            assert!(
+                out.attacked_rounds == 0 || out.detection_rate() == 1.0,
+                "{n}-core SATIN missed: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kprober_i_betrays_itself_to_satin() {
+        use satin_attack::kprober::ProberVariant;
+        // KProber-I: the hijacked vector entry sits in area 0 and is caught
+        // on every area-0 round.
+        let (vec1, _) =
+            kprober_trace_detection(ProberVariant::KProberI, 40, SimDuration::from_secs(10), 73);
+        assert!(vec1 >= 1, "SATIN missed KProber-I's vector hijack");
+        // KProber-II leaves no kernel-text trace: area 0 stays clean.
+        let (vec2, _) =
+            kprober_trace_detection(ProberVariant::KProberII, 40, SimDuration::from_secs(10), 74);
+        assert_eq!(vec2, 0, "false alarm on KProber-II");
+    }
+
+    #[test]
+    fn affinity_ratio_direction() {
+        let (all, single) = affinity_probing(SimDuration::from_secs(4), 4, 65);
+        assert!(single < all, "single {single} vs all {all}");
+    }
 }

@@ -1,15 +1,21 @@
 //! Regenerates every table and figure of the SATIN paper (DSN 2019).
 //!
 //! ```text
-//! repro [--full] [--seed N] [experiment ...]
+//! repro [--full] [--seed N] [--jobs N] [--metrics] [experiment ...]
 //! ```
 //!
 //! Experiments: `table1 switch recover table2 fig4 affinity race detection
 //! fig7 baseline areasweep all` (default: `all`). `--full` runs paper-scale
 //! round counts (slow: several minutes of simulation); the default is a
-//! quick mode that preserves every shape.
+//! quick mode that preserves every shape. `--jobs N` fans independent
+//! campaigns across N worker threads (0 = one per hardware thread); every
+//! aggregate is identical for any job count. `--metrics` additionally
+//! prints the machine's per-subsystem counters and trace-log health.
 
-use satin_bench::{ablation, detection, fig7, race, recover, switch, table1, table2, threshold_sweep, userprober, DEFAULT_SEED};
+use satin_bench::{
+    ablation, detection, fig7, race, recover, switch, table1, table2, threshold_sweep, userprober,
+    CampaignRunner, MetricsReport, DEFAULT_SEED,
+};
 use satin_hw::CoreKind;
 use satin_sim::SimDuration;
 use satin_stats::table::{Align, Table};
@@ -18,12 +24,22 @@ use satin_stats::{chart, fmt_percent, fmt_sci, FiveNumber};
 struct Opts {
     full: bool,
     seed: u64,
+    jobs: usize,
+    metrics: bool,
     experiments: Vec<String>,
+}
+
+impl Opts {
+    fn runner(&self) -> CampaignRunner {
+        CampaignRunner::new(self.jobs)
+    }
 }
 
 fn parse_args() -> Opts {
     let mut full = false;
     let mut seed = DEFAULT_SEED;
+    let mut jobs = 1;
+    let mut metrics = false;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -35,9 +51,17 @@ fn parse_args() -> Opts {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number (0 = all hardware threads)"));
+            }
+            "--metrics" => metrics = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--seed N] [table1 switch recover table2 fig4 \
+                    "usage: repro [--full] [--seed N] [--jobs N] [--metrics] \
+                     [table1 switch recover table2 fig4 \
                      affinity race detection fig7 baseline areasweep userprober \
                      preemption portability threshold predictor remediation \
                      kprobertrace all]"
@@ -54,6 +78,8 @@ fn parse_args() -> Opts {
     Opts {
         full,
         seed,
+        jobs,
+        metrics,
         experiments,
     }
 }
@@ -65,13 +91,16 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let opts = parse_args();
-    let want = |name: &str| {
-        opts.experiments.iter().any(|e| e == name || e == "all")
-    };
+    let want = |name: &str| opts.experiments.iter().any(|e| e == name || e == "all");
     println!(
-        "SATIN reproduction — seed {} — {} mode\n",
+        "SATIN reproduction — seed {} — {} mode — {} worker(s)\n",
         opts.seed,
-        if opts.full { "full (paper-scale)" } else { "quick" }
+        if opts.full {
+            "full (paper-scale)"
+        } else {
+            "quick"
+        },
+        opts.runner().jobs()
     );
     if want("table1") {
         run_table1(&opts);
@@ -143,12 +172,8 @@ fn run_kprober_trace(o: &Opts) {
         (ProberVariant::KProberI, "KProber-I"),
         (ProberVariant::KProberII, "KProber-II"),
     ] {
-        let (vec_alarms, sys_alarms) = ablation::kprober_trace_detection(
-            variant,
-            rounds,
-            SimDuration::from_secs(10),
-            o.seed,
-        );
+        let (vec_alarms, sys_alarms) =
+            ablation::kprober_trace_detection(variant, rounds, SimDuration::from_secs(10), o.seed);
         t.row(vec![
             label.to_string(),
             vec_alarms.to_string(),
@@ -202,7 +227,11 @@ fn run_remediation(o: &Opts) {
             1.0
         };
         t.row(vec![
-            if remediate { "remediate".into() } else { "report-only (paper)".into() },
+            if remediate {
+                "remediate".into()
+            } else {
+                "report-only (paper)".into()
+            },
             handle.alarms().len().to_string(),
             handle.repairs().to_string(),
             fmt_percent(uptime, 1),
@@ -244,9 +273,16 @@ fn run_predictor(o: &Opts) {
         let rounds = handle.rounds();
         let area = satin_mem::PAPER_SYSCALL_AREA;
         let checks = rounds.iter().filter(|r| r.area == area).count();
-        let caught = rounds.iter().filter(|r| r.area == area && r.tampered).count();
+        let caught = rounds
+            .iter()
+            .filter(|r| r.area == area && r.tampered)
+            .count();
         t.row(vec![
-            if randomize { "random (tp ± td)".into() } else { "fixed period".into() },
+            if randomize {
+                "random (tp ± td)".into()
+            } else {
+                "fixed period".into()
+            },
             checks.to_string(),
             caught.to_string(),
         ]);
@@ -307,8 +343,16 @@ fn run_userprober(o: &Opts) {
             });
             t.row(vec![
                 format!("{label} ({load} load tasks)"),
-                if r.delays.count > 0 { format!("{} s", fmt_sci(r.delays.mean, 2)) } else { "-".into() },
-                if r.delays.count > 0 { format!("{} s", fmt_sci(r.delays.max, 2)) } else { "-".into() },
+                if r.delays.count > 0 {
+                    format!("{} s", fmt_sci(r.delays.mean, 2))
+                } else {
+                    "-".into()
+                },
+                if r.delays.count > 0 {
+                    format!("{} s", fmt_sci(r.delays.max, 2))
+                } else {
+                    "-".into()
+                },
                 r.missed.to_string(),
                 format!("{} s", fmt_sci(r.check_secs, 2)),
             ]);
@@ -444,11 +488,9 @@ fn run_table2_fig4(o: &Opts) {
     } else {
         (&[8, 16, 30], 8)
     };
-    println!(
-        "== TABLE II: Probing Threshold on Multi-Core ({rounds} rounds/period) =="
-    );
+    println!("== TABLE II: Probing Threshold on Multi-Core ({rounds} rounds/period) ==");
     println!("   paper: 8s avg 2.61e-4; 16s 3.54e-4; 30s 4.21e-4; 120s 5.26e-4; 300s 6.61e-4; max ≈1.8e-3");
-    let rows = table2::run(periods, rounds, o.seed);
+    let rows = table2::run_with(periods, rounds, o.seed, &o.runner());
     let mut t = Table::new(vec![
         "Probing Period".into(),
         "Average".into(),
@@ -504,7 +546,10 @@ fn run_race(o: &Opts) {
     );
     println!("Equation 1 sweep (byte offset -> attacker escapes):");
     for (s, escaped) in sweep {
-        println!("  offset {s:>9} B -> {}", if escaped { "ESCAPES" } else { "caught" });
+        println!(
+            "  offset {s:>9} B -> {}",
+            if escaped { "ESCAPES" } else { "caught" }
+        );
     }
     println!("\n== FIGURE 3: one-round timeline (naive monolithic scan vs TZ-Evader) ==");
     for e in race::timeline(o.seed).iter().take(14) {
@@ -514,41 +559,78 @@ fn run_race(o: &Opts) {
 }
 
 fn run_detection(o: &Opts) {
-    let cfg = if o.full {
+    let mut base = if o.full {
         detection::DetectionConfig::paper(o.seed)
     } else {
         detection::DetectionConfig::quick(o.seed)
     };
+    base.trace = o.metrics;
+    // A small fleet of independent campaigns: the headline detection rate
+    // comes from the aggregate, and the per-seed rows show its stability.
+    let campaigns = if o.full { 4 } else { 3 };
+    let seeds: Vec<u64> = (0..campaigns).map(|i| o.seed.wrapping_add(i)).collect();
     println!(
-        "== §VI-B1: SATIN detection campaign ({} rounds, Tgoal {}s) ==",
-        cfg.rounds,
-        cfg.tgoal.as_secs_f64()
+        "== §VI-B1: SATIN detection campaign ({} x {} rounds, Tgoal {}s) ==",
+        campaigns,
+        base.rounds,
+        base.tgoal.as_secs_f64()
     );
     println!("   paper: 190 rounds, kernel x10, area 14 caught 10/10, prober reports all rounds,");
     println!("          avg area-14 gap ≈141 s, sweep ≈152 s (at tp = 8 s)");
-    let r = detection::run(cfg);
-    println!("rounds: {}   full sweeps: {}", r.rounds, r.sweeps);
+    let results = detection::run_many(base, &seeds, &o.runner());
+    let mut t = Table::new(vec![
+        "Seed".into(),
+        "Rounds".into(),
+        "Attacked".into(),
+        "Detected".into(),
+        "Early-warn".into(),
+        "Prober".into(),
+        "Gap (s)".into(),
+    ]);
+    for c in 1..=6 {
+        t.align(c, Align::Right);
+    }
+    for (seed, r) in seeds.iter().zip(&results) {
+        t.row(vec![
+            seed.to_string(),
+            r.rounds.to_string(),
+            r.area14_attacked_checks.to_string(),
+            r.area14_detections.to_string(),
+            r.area14_early_warning_checks.to_string(),
+            r.prober_sessions.to_string(),
+            r.area14_mean_gap_secs
+                .map(|g| format!("{g:.1}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{t}");
+    let agg = detection::DetectionAggregate::of(&results);
     println!(
-        "area-14 checks vs live hijack: {} — detected {} ({})",
-        r.area14_attacked_checks,
-        r.area14_detections,
-        fmt_percent(r.detection_rate(), 1)
+        "aggregate: {} rounds, {} attacked checks, {} detected ({}), {} false alarms",
+        agg.rounds,
+        agg.area14_attacked_checks,
+        agg.area14_detections,
+        fmt_percent(agg.detection_rate(), 1),
+        agg.other_area_alarms
     );
-    println!(
-        "area-14 early-warning checks: {} (detected {})",
-        r.area14_early_warning_checks, r.area14_early_warning_detections
-    );
-    println!(
-        "prober sessions observed: {} of {} rounds; false alarms elsewhere: {}",
-        r.prober_sessions, r.rounds, r.other_area_alarms
-    );
-    if let Some(g) = r.area14_mean_gap_secs {
+    if let Some(g) = agg.mean_gap_secs {
         println!("mean gap between area-14 checks: {g:.1} s");
     }
-    if let Some(s) = r.sweep_secs {
-        println!("mean full-sweep time: {s:.1} s");
+    if let Some(s) = results[0].sweep_secs {
+        println!("mean full-sweep time (seed {}): {s:.1} s", seeds[0]);
     }
-    println!("simulated time: {:.1} s\n", r.simulated_secs);
+    if o.metrics {
+        println!(
+            "-- machine counters (summed over {} campaigns) --",
+            agg.campaigns
+        );
+        print_metrics(&agg.metrics);
+    }
+    println!();
+}
+
+fn print_metrics(m: &MetricsReport) {
+    print!("{m}");
 }
 
 fn run_fig7(o: &Opts) {

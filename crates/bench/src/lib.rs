@@ -16,17 +16,25 @@
 //! | [`fig7`] | Figure 7 — UnixBench overhead, 1-task and 6-task |
 //! | [`ablation`] | Baseline comparisons and design-choice sweeps |
 //! | [`userprober`] | §III-B1 — user-level prober capability and load sensitivity |
+//!
+//! [`runner`] is the shared harness: a [`CampaignRunner`] fans independent
+//! seeded campaigns across threads (results in input order, so aggregates
+//! don't depend on the job count), and a [`MetricsReport`] snapshots a
+//! finished system's per-subsystem counters and trace health.
 
 pub mod ablation;
 pub mod detection;
 pub mod fig7;
 pub mod race;
 pub mod recover;
+pub mod runner;
 pub mod switch;
 pub mod table1;
 pub mod table2;
 pub mod threshold_sweep;
 pub mod userprober;
+
+pub use runner::{CampaignRunner, MetricsReport};
 
 /// Default master seed for all experiments (override per run for variance
 /// studies).

@@ -48,7 +48,9 @@ pub fn timeline(seed: u64) -> Vec<TraceEvent> {
     sys.run_until(SimTime::from_millis(450));
     sys.trace()
         .iter()
-        .filter(|e| e.category.starts_with("secure.") || e.category.starts_with("attack."))
+        .filter(|e| {
+            e.category.as_str().starts_with("secure.") || e.category.as_str().starts_with("attack.")
+        })
         .cloned()
         .collect()
 }
@@ -107,7 +109,7 @@ mod tests {
     #[test]
     fn timeline_shows_figure3_sequence() {
         let events = timeline(17);
-        let cats: Vec<&str> = events.iter().map(|e| e.category).collect();
+        let cats: Vec<&str> = events.iter().map(|e| e.category.as_str()).collect();
         // The Figure 3 ordering: secure entry, scan start, attack hides,
         // restore, secure exit.
         let pos = |c: &str| cats.iter().position(|x| *x == c);

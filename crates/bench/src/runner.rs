@@ -1,0 +1,291 @@
+//! Parallel campaign fan-out.
+//!
+//! Every experiment in this crate is a pure function of its seed: a campaign
+//! builds its own [`satin_system::System`], runs it, and returns owned
+//! results. That makes fanning a batch of campaigns across OS threads
+//! trivially safe — no shared simulation state exists. [`CampaignRunner`]
+//! does exactly that, with one hard guarantee: **results come back in input
+//! order, independent of worker count or scheduling**, so aggregates
+//! computed over them are identical for `--jobs 1` and `--jobs N`.
+
+use satin_system::System;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fans independent campaigns across `std::thread` workers.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignRunner {
+    jobs: usize,
+}
+
+impl CampaignRunner {
+    /// A runner with `jobs` workers; `0` means one worker per available
+    /// hardware thread.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        CampaignRunner { jobs }
+    }
+
+    /// A single-worker runner (runs everything on the calling thread).
+    pub fn serial() -> Self {
+        CampaignRunner { jobs: 1 }
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item and returns the results **in input order**.
+    ///
+    /// Workers pull items off a shared atomic index (so a slow campaign
+    /// doesn't starve the rest of a pre-chunked stripe) and tag each result
+    /// with its index; the tags restore input order at the end. With one
+    /// worker — or one item — everything runs on the calling thread.
+    pub fn run<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        if self.jobs <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(items.len());
+        let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, f(&items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        tagged.sort_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// [`run`](CampaignRunner::run) specialized to the common case: one
+    /// campaign per seed.
+    pub fn run_seeds<T, F>(&self, seeds: &[u64], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        self.run(seeds, |&s| f(s))
+    }
+}
+
+impl Default for CampaignRunner {
+    fn default() -> Self {
+        CampaignRunner::serial()
+    }
+}
+
+/// A campaign-level snapshot of a [`System`]'s observability counters:
+/// the per-subsystem [`satin_system::SysMetrics`] totals plus trace-log
+/// health. Captured at campaign end so results stay owned (`Send`) and the
+/// `System` can be dropped inside the worker.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// World switches (entries + exits) summed over cores.
+    pub world_switches: u64,
+    /// Scan windows opened.
+    pub scans_started: u64,
+    /// Scan windows that ran to completion.
+    pub scans_completed: u64,
+    /// Completed scans torn by a concurrent write.
+    pub scans_torn: u64,
+    /// RT tasks preempting a running task at dispatch.
+    pub rt_preemptions: u64,
+    /// Machine-wide cache-pollution windows opened by secure exits.
+    pub pollution_windows: u64,
+    /// Scan results published to the normal world.
+    pub publications: u64,
+    /// Sum of fire-to-resume residencies, seconds (see
+    /// [`mean_publication_delay_secs`](MetricsReport::mean_publication_delay_secs)).
+    pub publication_delay_total_secs: f64,
+    /// World switches per core, indexed by core id.
+    pub per_core_world_switches: Vec<u64>,
+    /// Trace entries still retained.
+    pub trace_retained: usize,
+    /// Trace entries evicted by the capacity bound
+    /// ([`satin_sim::TraceLog::dropped`]).
+    pub trace_dropped: u64,
+    /// `satin.alarm` entries retained in the trace.
+    pub alarms_traced: u64,
+    /// Simulation events dispatched.
+    pub events_dispatched: u64,
+}
+
+impl MetricsReport {
+    /// Snapshots `sys`'s counters.
+    pub fn capture(sys: &System) -> Self {
+        let m = sys.metrics();
+        let total = m.total();
+        MetricsReport {
+            world_switches: total.world_switches,
+            scans_started: total.scans_started,
+            scans_completed: total.scans_completed,
+            scans_torn: total.scans_torn,
+            rt_preemptions: total.rt_preemptions,
+            pollution_windows: total.pollution_windows,
+            publications: m.publications,
+            publication_delay_total_secs: m
+                .mean_publication_delay()
+                .map(|d| d.as_secs_f64() * m.publications as f64)
+                .unwrap_or(0.0),
+            per_core_world_switches: m.per_core().map(|(_, c)| c.world_switches).collect(),
+            trace_retained: sys.trace().len(),
+            trace_dropped: sys.trace().dropped(),
+            alarms_traced: sys.trace().by_category("satin.alarm").count() as u64,
+            events_dispatched: sys.events_dispatched(),
+        }
+    }
+
+    /// Mean publication delay (secure-timer fire to normal-world resume),
+    /// seconds; `None` before the first publication.
+    pub fn mean_publication_delay_secs(&self) -> Option<f64> {
+        (self.publications > 0)
+            .then(|| self.publication_delay_total_secs / self.publications as f64)
+    }
+
+    /// Sums a batch of reports (publication delays stay
+    /// publication-weighted; per-core vectors are added elementwise).
+    pub fn merged(reports: &[MetricsReport]) -> Self {
+        let mut out = MetricsReport::default();
+        for r in reports {
+            out.world_switches += r.world_switches;
+            out.scans_started += r.scans_started;
+            out.scans_completed += r.scans_completed;
+            out.scans_torn += r.scans_torn;
+            out.rt_preemptions += r.rt_preemptions;
+            out.pollution_windows += r.pollution_windows;
+            out.publications += r.publications;
+            out.publication_delay_total_secs += r.publication_delay_total_secs;
+            if out.per_core_world_switches.len() < r.per_core_world_switches.len() {
+                out.per_core_world_switches
+                    .resize(r.per_core_world_switches.len(), 0);
+            }
+            for (acc, w) in out
+                .per_core_world_switches
+                .iter_mut()
+                .zip(&r.per_core_world_switches)
+            {
+                *acc += w;
+            }
+            out.trace_retained += r.trace_retained;
+            out.trace_dropped += r.trace_dropped;
+            out.alarms_traced += r.alarms_traced;
+            out.events_dispatched += r.events_dispatched;
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "world switches: {} ({} rounds)   per-core: {:?}",
+            self.world_switches,
+            self.world_switches / 2,
+            self.per_core_world_switches
+        )?;
+        writeln!(
+            f,
+            "scans: {} started, {} completed, {} torn by concurrent writes",
+            self.scans_started, self.scans_completed, self.scans_torn
+        )?;
+        write!(
+            f,
+            "rt preemptions: {}   pollution windows: {}   publications: {}",
+            self.rt_preemptions, self.pollution_windows, self.publications
+        )?;
+        if let Some(d) = self.mean_publication_delay_secs() {
+            write!(f, " (mean delay {d:.2e} s)")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "events dispatched: {}   trace: {} retained, {} dropped, {} alarms",
+            self.events_dispatched, self.trace_retained, self.trace_dropped, self.alarms_traced
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial = CampaignRunner::serial().run(&items, |&i| i * i + 1);
+        let parallel = CampaignRunner::new(4).run(&items, |&i| i * i + 1);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[10], 101);
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        let r = CampaignRunner::new(0);
+        assert!(r.jobs() >= 1);
+        assert_eq!(CampaignRunner::new(3).jobs(), 3);
+        assert_eq!(CampaignRunner::default().jobs(), 1);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = CampaignRunner::new(8).run(&[7u64, 9], |&s| s + 1);
+        assert_eq!(out, vec![8, 10]);
+    }
+
+    #[test]
+    fn run_seeds_passes_seed_by_value() {
+        let out = CampaignRunner::new(2).run_seeds(&[1, 2, 3, 4], |s| s * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn merged_report_weights_delays_by_publications() {
+        let a = MetricsReport {
+            publications: 1,
+            publication_delay_total_secs: 0.010,
+            per_core_world_switches: vec![2, 0],
+            ..MetricsReport::default()
+        };
+        let b = MetricsReport {
+            publications: 3,
+            publication_delay_total_secs: 0.006,
+            per_core_world_switches: vec![0, 4],
+            ..MetricsReport::default()
+        };
+        let m = MetricsReport::merged(&[a, b]);
+        assert_eq!(m.publications, 4);
+        assert!((m.mean_publication_delay_secs().unwrap() - 0.004).abs() < 1e-12);
+        assert_eq!(m.per_core_world_switches, vec![2, 4]);
+        assert!(MetricsReport::default()
+            .mean_publication_delay_secs()
+            .is_none());
+    }
+}

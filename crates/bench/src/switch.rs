@@ -20,7 +20,8 @@ struct NoScanService {
 
 impl SecureService for NoScanService {
     fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
-        ctx.arm_core(self.core, SimTime::ZERO + self.period).unwrap();
+        ctx.arm_core(self.core, SimTime::ZERO + self.period)
+            .unwrap();
     }
 
     fn on_secure_timer(&mut self, _core: CoreId, ctx: &mut SecureCtx<'_>) -> Option<ScanRequest> {

@@ -42,7 +42,8 @@ struct FullScanService {
 
 impl SecureService for FullScanService {
     fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
-        ctx.arm_core(self.core, SimTime::ZERO + self.period).unwrap();
+        ctx.arm_core(self.core, SimTime::ZERO + self.period)
+            .unwrap();
     }
 
     fn on_secure_timer(&mut self, _core: CoreId, ctx: &mut SecureCtx<'_>) -> Option<ScanRequest> {
@@ -76,12 +77,7 @@ impl SecureService for FullScanService {
 }
 
 /// Measures one (kind, strategy) cell over `rounds` full-kernel scans.
-pub fn measure_cell(
-    kind: CoreKind,
-    strategy: ScanStrategy,
-    rounds: usize,
-    seed: u64,
-) -> Table1Row {
+pub fn measure_cell(kind: CoreKind, strategy: ScanStrategy, rounds: usize, seed: u64) -> Table1Row {
     // Core 0 is A57, core 2 is A53 on the Juno topology.
     let core = match kind {
         CoreKind::A57 => CoreId::new(0),

@@ -6,6 +6,7 @@
 //! Table II and the boxplots of Figure 4. §IV-B2 additionally finds that
 //! probing a single fixed core yields thresholds ≈¼ of the all-core values.
 
+use crate::runner::CampaignRunner;
 use satin_attack::prober::{probing_threshold_campaign, ProbeTargets};
 use satin_hw::CoreId;
 use satin_sim::SimDuration;
@@ -27,22 +28,31 @@ pub struct Table2Row {
 
 /// Runs the campaign for the given periods with `rounds` rounds each.
 pub fn run(periods_secs: &[u64], rounds: usize, seed: u64) -> Vec<Table2Row> {
-    periods_secs
-        .iter()
-        .map(|&p| {
-            let maxima = probing_threshold_campaign(
-                seed.wrapping_add(p),
-                SimDuration::from_secs(p),
-                rounds,
-                ProbeTargets::AllCores,
-            );
-            Table2Row {
-                period_secs: p,
-                threshold: Summary::of(&maxima).expect("rounds > 0"),
-                boxplot: FiveNumber::of(&maxima).expect("rounds > 0"),
-            }
-        })
-        .collect()
+    run_with(periods_secs, rounds, seed, &CampaignRunner::serial())
+}
+
+/// [`run`], with one period-campaign per `runner` worker. Each period seeds
+/// its own independent campaign, so the rows are identical for any job
+/// count.
+pub fn run_with(
+    periods_secs: &[u64],
+    rounds: usize,
+    seed: u64,
+    runner: &CampaignRunner,
+) -> Vec<Table2Row> {
+    runner.run(periods_secs, |&p| {
+        let maxima = probing_threshold_campaign(
+            seed.wrapping_add(p),
+            SimDuration::from_secs(p),
+            rounds,
+            ProbeTargets::AllCores,
+        );
+        Table2Row {
+            period_secs: p,
+            threshold: Summary::of(&maxima).expect("rounds > 0"),
+            boxplot: FiveNumber::of(&maxima).expect("rounds > 0"),
+        }
+    })
 }
 
 /// §IV-B2's single-core comparison: mean thresholds for all-core vs

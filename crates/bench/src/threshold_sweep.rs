@@ -45,13 +45,19 @@ pub fn measure(threshold_secs: f64, seed: u64) -> ThresholdPoint {
         cfg.threshold = Some(SimDuration::from_secs_f64(threshold_secs));
         deploy_prober_threads(&mut sys, SchedClass::rt_max(), cfg, &shared, SimTime::ZERO);
         sys.run_until(SimTime::from_secs(quiet_secs));
-        channel.distinct_sessions(SimDuration::from_millis(100)).len()
+        channel
+            .distinct_sessions(SimDuration::from_millis(100))
+            .len()
     };
 
     // Phase 2: evasion against a periodic full-kernel scan.
-    let mut sys = SystemBuilder::new().seed(seed ^ 0xfeed).trace(false).build();
-    let (svc, defense) =
-        NaiveIntrospection::new(BaselineConfig::periodic_fixed(SimDuration::from_millis(400)));
+    let mut sys = SystemBuilder::new()
+        .seed(seed ^ 0xfeed)
+        .trace(false)
+        .build();
+    let (svc, defense) = NaiveIntrospection::new(BaselineConfig::periodic_fixed(
+        SimDuration::from_millis(400),
+    ));
     sys.install_secure_service(svc);
     let mut evader_cfg = TzEvaderConfig::paper_default();
     evader_cfg.prober_config.threshold = Some(SimDuration::from_secs_f64(threshold_secs));

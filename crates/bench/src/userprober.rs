@@ -19,7 +19,9 @@ use satin_kernel::{Affinity, SchedClass};
 use satin_mem::MemRange;
 use satin_sim::{SimDuration, SimTime};
 use satin_stats::Summary;
-use satin_system::{BootCtx, RunCtx, RunOutcome, ScanRequest, SecureCtx, SecureService, SystemBuilder};
+use satin_system::{
+    BootCtx, RunCtx, RunOutcome, ScanRequest, SecureCtx, SecureService, SystemBuilder,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -57,7 +59,8 @@ struct RecordingScanService {
 
 impl SecureService for RecordingScanService {
     fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
-        ctx.arm_core(self.core, SimTime::ZERO + self.period).unwrap();
+        ctx.arm_core(self.core, SimTime::ZERO + self.period)
+            .unwrap();
     }
 
     fn on_secure_timer(&mut self, _core: CoreId, ctx: &mut SecureCtx<'_>) -> Option<ScanRequest> {
@@ -210,8 +213,8 @@ mod tests {
             kprober_loaded.delays.max
         );
         // The user prober degrades: slower detection or outright misses.
-        let degraded = user_loaded.missed > 0
-            || user_loaded.delays.mean > 2.0 * kprober_loaded.delays.mean;
+        let degraded =
+            user_loaded.missed > 0 || user_loaded.delays.mean > 2.0 * kprober_loaded.delays.mean;
         assert!(
             degraded,
             "user prober should degrade under load: user {:?} vs kprober {:?}",

@@ -165,11 +165,12 @@ impl SecureService for NaiveIntrospection {
     ) {
         {
             let mut inner = self.inner.borrow_mut();
-            let outcome = inner
-                .checker
-                .as_mut()
-                .expect("booted")
-                .check_round(ctx.now(), core, request.area_id, observed);
+            let outcome = inner.checker.as_mut().expect("booted").check_round(
+                ctx.now(),
+                core,
+                request.area_id,
+                observed,
+            );
             inner.rounds += 1;
             if outcome.is_tampered() {
                 inner.tampered_rounds += 1;
@@ -202,7 +203,9 @@ mod tests {
         ));
         sys.install_secure_service(svc);
         // A dumb rootkit that never hides.
-        let addr = sys.layout().syscall_entry_addr(satin_mem::layout::GETTID_NR);
+        let addr = sys
+            .layout()
+            .syscall_entry_addr(satin_mem::layout::GETTID_NR);
         let evil = satin_mem::image::hijacked_entry_bytes(sys.layout(), 1);
         sys.mem_mut().write_unchecked(addr, &evil).unwrap();
         sys.run_until(SimTime::from_millis(900));

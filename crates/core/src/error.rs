@@ -36,10 +36,9 @@ impl fmt::Display for SatinError {
                 "area {area} is {size} bytes, above the safe bound of {bound} bytes"
             ),
             SatinError::EmptyPlan => write!(f, "area plan has no areas"),
-            SatinError::InfeasibleGoal { tgoal_secs, areas } => write!(
-                f,
-                "coverage goal of {tgoal_secs}s cannot fit {areas} areas"
-            ),
+            SatinError::InfeasibleGoal { tgoal_secs, areas } => {
+                write!(f, "coverage goal of {tgoal_secs}s cannot fit {areas} areas")
+            }
         }
     }
 }

@@ -10,7 +10,7 @@ use satin_hw::timing::ScanStrategy;
 use satin_hw::{CoreId, TimingModel, World};
 use satin_mem::KernelLayout;
 use satin_secure::SecureStorage;
-use satin_sim::{SimDuration, SimTime};
+use satin_sim::{SimDuration, SimTime, TraceCategory};
 use satin_system::{BootCtx, ScanRequest, SecureCtx, SecureService};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -270,7 +270,8 @@ impl SecureService for Satin {
         }
         let checker = IntegrityChecker::measure_at_boot(ctx.mem(), &plan, self.config.algorithm)
             .expect("boot-time measurement failed");
-        let policy = WakePolicy::from_goal(self.config.tgoal, plan.len(), self.config.randomize_wake);
+        let policy =
+            WakePolicy::from_goal(self.config.tgoal, plan.len(), self.config.randomize_wake);
 
         // Initial wake sequence (trusted boot): one slot per participating
         // core, assigned in a random order the normal world never sees.
@@ -332,14 +333,15 @@ impl SecureService for Satin {
     ) {
         let mut inner = self.inner.borrow_mut();
         let now = ctx.now();
-        let outcome = inner
-            .checker
-            .as_mut()
-            .expect("SATIN booted")
-            .check_round(now, core, request.area_id, observed);
+        let outcome = inner.checker.as_mut().expect("SATIN booted").check_round(
+            now,
+            core,
+            request.area_id,
+            observed,
+        );
         if outcome.is_tampered() {
             ctx.trace(
-                "satin.alarm",
+                TraceCategory::SatinAlarm,
                 format!("area {} tampered on {core}", request.area_id),
             );
             // Remediation (extension): write the golden invariant bytes back
@@ -464,7 +466,9 @@ mod tests {
         let (satin, handle) = Satin::new(config);
         sys.install_secure_service(satin);
         // Tamper directly (no evader: the write persists).
-        let addr = sys.layout().syscall_entry_addr(satin_mem::layout::GETTID_NR);
+        let addr = sys
+            .layout()
+            .syscall_entry_addr(satin_mem::layout::GETTID_NR);
         let evil = satin_mem::image::hijacked_entry_bytes(sys.layout(), 2);
         sys.mem_mut().write_unchecked(addr, &evil).unwrap();
         sys.run_until(SimTime::from_secs(3));
@@ -492,7 +496,9 @@ mod remediation_tests {
         sys.install_secure_service(satin);
         // A dumb persistent hijack (no evasion, never restored by the
         // attacker).
-        let addr = sys.layout().syscall_entry_addr(satin_mem::layout::GETTID_NR);
+        let addr = sys
+            .layout()
+            .syscall_entry_addr(satin_mem::layout::GETTID_NR);
         let evil = satin_mem::image::hijacked_entry_bytes(sys.layout(), 4);
         sys.mem_mut().write_unchecked(addr, &evil).unwrap();
         sys.run_until(SimTime::from_secs(6));
@@ -523,14 +529,22 @@ mod remediation_tests {
         let mut sys = SystemBuilder::new().seed(55).trace(false).build();
         let (satin, handle) = Satin::new(config);
         sys.install_secure_service(satin);
-        let addr = sys.layout().syscall_entry_addr(satin_mem::layout::GETTID_NR);
+        let addr = sys
+            .layout()
+            .syscall_entry_addr(satin_mem::layout::GETTID_NR);
         let evil = satin_mem::image::hijacked_entry_bytes(sys.layout(), 4);
         sys.mem_mut().write_unchecked(addr, &evil).unwrap();
         sys.run_until(SimTime::from_secs(6));
-        assert!(handle.alarms().len() >= 2, "persistent hijack alarms repeat");
+        assert!(
+            handle.alarms().len() >= 2,
+            "persistent hijack alarms repeat"
+        );
         assert_eq!(handle.repairs(), 0);
         // The hijack is still in place: report-only.
         let ptr = sys.mem().read_u64(addr).unwrap();
-        assert_ne!(Some(ptr), sys.stats().genuine_syscall(satin_mem::layout::GETTID_NR));
+        assert_ne!(
+            Some(ptr),
+            sys.stats().genuine_syscall(satin_mem::layout::GETTID_NR)
+        );
     }
 }

@@ -88,7 +88,10 @@ impl SyncProtection {
     /// Records a trapped (blocked) write — called by whoever observed the
     /// [`satin_mem::MemError::WriteProtected`] fault.
     pub fn record_trap(&self, at: SimTime, addr: PhysAddr, len: u64) {
-        self.inner.borrow_mut().traps.push(TrappedWrite { at, addr, len });
+        self.inner
+            .borrow_mut()
+            .traps
+            .push(TrappedWrite { at, addr, len });
     }
 
     /// All trapped writes so far.

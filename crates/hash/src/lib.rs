@@ -59,8 +59,11 @@ pub enum HashAlgorithm {
 
 impl HashAlgorithm {
     /// All supported algorithms.
-    pub const ALL: [HashAlgorithm; 3] =
-        [HashAlgorithm::Djb2, HashAlgorithm::Sdbm, HashAlgorithm::Fnv1a];
+    pub const ALL: [HashAlgorithm; 3] = [
+        HashAlgorithm::Djb2,
+        HashAlgorithm::Sdbm,
+        HashAlgorithm::Fnv1a,
+    ];
 
     /// Creates a boxed hasher for this algorithm.
     pub fn new_hasher(self) -> Box<dyn KernelHasher> {
@@ -181,7 +184,9 @@ impl Fnv1a {
 
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
-        Fnv1a { state: Self::OFFSET }
+        Fnv1a {
+            state: Self::OFFSET,
+        }
     }
 }
 
@@ -238,7 +243,10 @@ mod tests {
     #[test]
     fn fnv1a_known_vector() {
         // Standard FNV-1a 64 test vector: "a" -> 0xaf63dc4c8601ec8c.
-        assert_eq!(hash_bytes(HashAlgorithm::Fnv1a, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(
+            hash_bytes(HashAlgorithm::Fnv1a, b"a"),
+            0xaf63_dc4c_8601_ec8c
+        );
     }
 
     #[test]

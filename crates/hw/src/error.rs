@@ -70,7 +70,9 @@ mod tests {
         };
         assert!(e.to_string().contains("CNTPS_CVAL_EL1"));
         assert!(e.to_string().contains("normal"));
-        let e = HwError::NoSuchCore { core: CoreId::new(9) };
+        let e = HwError::NoSuchCore {
+            core: CoreId::new(9),
+        };
         assert!(e.to_string().contains("core9"));
         let e = HwError::InvalidWorldSwitch {
             core: CoreId::new(1),

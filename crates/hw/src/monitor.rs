@@ -161,7 +161,8 @@ mod tests {
     fn double_entry_rejected() {
         let mut mon = SecureMonitor::new(1);
         let c = CoreId::new(0);
-        mon.enter_secure(c, SimTime::ZERO, SimDuration::ZERO).unwrap();
+        mon.enter_secure(c, SimTime::ZERO, SimDuration::ZERO)
+            .unwrap();
         let err = mon
             .enter_secure(c, SimTime::ZERO, SimDuration::ZERO)
             .unwrap_err();

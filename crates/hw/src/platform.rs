@@ -178,7 +178,8 @@ mod tests {
         let mut p = Platform::juno_r1();
         for (i, secs) in [(0usize, 9u64), (3, 4), (5, 7)] {
             let t = p.secure_timer_mut(CoreId::new(i));
-            t.write_cval(World::Secure, SimTime::from_secs(secs)).unwrap();
+            t.write_cval(World::Secure, SimTime::from_secs(secs))
+                .unwrap();
             t.set_enabled(World::Secure, true).unwrap();
         }
         let (core, at) = p.next_secure_timer_fire().unwrap();

@@ -155,7 +155,8 @@ mod tests {
     #[test]
     fn secure_world_arms_and_fires() {
         let mut t = SecureTimer::new();
-        t.write_cval(World::Secure, SimTime::from_millis(10)).unwrap();
+        t.write_cval(World::Secure, SimTime::from_millis(10))
+            .unwrap();
         t.set_enabled(World::Secure, true).unwrap();
         assert_eq!(t.next_fire(), Some(SimTime::from_millis(10)));
         assert!(!t.should_fire(SimTime::from_millis(9)));

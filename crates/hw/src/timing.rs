@@ -333,7 +333,10 @@ mod tests {
             };
             let hash = avg(ScanStrategy::DirectHash, &mut rng);
             let snap = avg(ScanStrategy::SnapshotThenHash, &mut rng);
-            assert!(hash <= snap * 1.01, "{kind}: hash {hash} vs snapshot {snap}");
+            assert!(
+                hash <= snap * 1.01,
+                "{kind}: hash {hash} vs snapshot {snap}"
+            );
         }
     }
 

@@ -87,21 +87,11 @@ impl CoreRunQueue {
     /// Removes a specific task from whichever queue holds it.
     /// Returns `true` if it was queued.
     pub fn remove(&mut self, task: TaskId) -> bool {
-        if let Some(key) = self
-            .rt
-            .iter()
-            .find(|(_, t)| **t == task)
-            .map(|(k, _)| *k)
-        {
+        if let Some(key) = self.rt.iter().find(|(_, t)| **t == task).map(|(k, _)| *k) {
             self.rt.remove(&key);
             return true;
         }
-        if let Some(key) = self
-            .cfs
-            .iter()
-            .find(|(_, t)| *t == task)
-            .copied()
-        {
+        if let Some(key) = self.cfs.iter().find(|(_, t)| *t == task).copied() {
             self.cfs.remove(&key);
             return true;
         }

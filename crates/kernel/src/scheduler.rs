@@ -70,7 +70,12 @@ impl Scheduler {
     }
 
     /// Creates a task (initially [`TaskState::Blocked`]; wake it to run).
-    pub fn spawn(&mut self, name: impl Into<String>, class: SchedClass, affinity: Affinity) -> TaskId {
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        class: SchedClass,
+        affinity: Affinity,
+    ) -> TaskId {
         let id = TaskId::new(self.tasks.len() as u64);
         self.tasks.push(Task::new(id, name, class, affinity));
         id
@@ -342,7 +347,11 @@ mod tests {
     fn rt_priority_preemption() {
         let mut s = sched(1);
         let low = s.spawn("low", SchedClass::RtFifo { priority: 10 }, Affinity::any(1));
-        let high = s.spawn("high", SchedClass::RtFifo { priority: 90 }, Affinity::any(1));
+        let high = s.spawn(
+            "high",
+            SchedClass::RtFifo { priority: 90 },
+            Affinity::any(1),
+        );
         s.wake(low);
         let l = s.pick_next(CoreId::new(0)).unwrap();
         s.start_running(CoreId::new(0), l);
@@ -350,7 +359,12 @@ mod tests {
         assert!(s.should_preempt(CoreId::new(0), high));
         // Equal priority does not preempt (FIFO runs to completion).
         let equal = s.spawn("eq", SchedClass::RtFifo { priority: 90 }, Affinity::any(1));
-        s.stop_running(CoreId::new(0), l, SimDuration::from_micros(1), TaskState::Blocked);
+        s.stop_running(
+            CoreId::new(0),
+            l,
+            SimDuration::from_micros(1),
+            TaskState::Blocked,
+        );
         let h = s.pick_next(CoreId::new(0)).unwrap();
         assert_eq!(h, high);
         s.start_running(CoreId::new(0), h);
@@ -410,7 +424,12 @@ mod tests {
         s.wake(hog);
         let h = s.pick_next(CoreId::new(0)).unwrap();
         s.start_running(CoreId::new(0), h);
-        s.stop_running(CoreId::new(0), h, SimDuration::from_millis(50), TaskState::Runnable);
+        s.stop_running(
+            CoreId::new(0),
+            h,
+            SimDuration::from_millis(50),
+            TaskState::Runnable,
+        );
         // Sleeper wakes with vruntime 0 but must be floored to the queue min.
         s.wake(sleeper);
         assert!(s.task(sleeper).vruntime() >= s.task(hog).vruntime() / 2);

@@ -54,9 +54,11 @@ mod tests {
             valid: MemRange::new(PhysAddr::new(0), 0x10),
         };
         assert!(e.to_string().contains("outside"));
-        assert!(MemError::WriteProtected { addr: PhysAddr::new(4) }
-            .to_string()
-            .contains("protected"));
+        assert!(MemError::WriteProtected {
+            addr: PhysAddr::new(4)
+        }
+        .to_string()
+        .contains("protected"));
         assert!(MemError::NoSuchSection { name: "x".into() }
             .to_string()
             .contains("x"));

@@ -80,7 +80,10 @@ fn fill_syscall_table(layout: &KernelLayout, seed: u64, chunk: &mut [u8]) {
         Some(t) => (t.range().start().value(), t.range().len()),
         None => (layout.base().value(), layout.total_size()),
     };
-    for (i, entry) in chunk.chunks_exact_mut(SYSCALL_ENTRY_SIZE as usize).enumerate() {
+    for (i, entry) in chunk
+        .chunks_exact_mut(SYSCALL_ENTRY_SIZE as usize)
+        .enumerate()
+    {
         let off = mix(seed, i as u64) % text_len.max(1);
         let addr = text_base + (off & !0x3);
         entry.copy_from_slice(&addr.to_le_bytes());
@@ -157,7 +160,10 @@ mod tests {
         let addr = l.syscall_entry_addr(GETTID_NR);
         let off = addr.offset_from(l.base()) as usize;
         let ptr = u64::from_le_bytes(img[off..off + 8].try_into().unwrap());
-        assert!(text.contains(crate::PhysAddr::new(ptr)), "{ptr:#x} not in {text}");
+        assert!(
+            text.contains(crate::PhysAddr::new(ptr)),
+            "{ptr:#x} not in {text}"
+        );
     }
 
     #[test]

@@ -103,10 +103,7 @@ impl KernelLayout {
     ///
     /// Panics if any segment is empty, any section has zero size, or two
     /// sections share a name.
-    pub fn from_segments(
-        base: PhysAddr,
-        segments: &[Vec<(&str, SectionKind, u64)>],
-    ) -> Self {
+    pub fn from_segments(base: PhysAddr, segments: &[Vec<(&str, SectionKind, u64)>]) -> Self {
         assert!(!segments.is_empty(), "layout needs at least one segment");
         let mut sections = Vec::new();
         let mut cursor = base;
@@ -223,15 +220,16 @@ impl KernelLayout {
         let last = self
             .sections
             .iter()
-            .filter(|s| s.segment == idx)
-            .next_back()
+            .rfind(|s| s.segment == idx)
             .expect("nonempty");
         MemRange::new(first.range.start(), last.range.end() - first.range.start())
     }
 
     /// All segment ranges, in order.
     pub fn segment_ranges(&self) -> Vec<MemRange> {
-        (0..self.num_segments).map(|i| self.segment_range(i)).collect()
+        (0..self.num_segments)
+            .map(|i| self.segment_range(i))
+            .collect()
     }
 
     /// The segment containing `addr`, if any.
@@ -370,10 +368,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero size")]
     fn zero_size_rejected() {
-        KernelLayout::from_segments(
-            PhysAddr::new(0),
-            &[vec![("a", SectionKind::Text, 0)]],
-        );
+        KernelLayout::from_segments(PhysAddr::new(0), &[vec![("a", SectionKind::Text, 0)]]);
     }
 
     #[test]

@@ -173,10 +173,7 @@ mod tests {
     #[test]
     fn protect_spanning_pages() {
         let mut p = perms();
-        p.protect(MemRange::new(
-            PhysAddr::new(0x10000 + PAGE_SIZE - 1),
-            2,
-        ));
+        p.protect(MemRange::new(PhysAddr::new(0x10000 + PAGE_SIZE - 1), 2));
         assert!(!p.is_writable(PhysAddr::new(0x10000)));
         assert!(!p.is_writable(PhysAddr::new(0x10000 + PAGE_SIZE)));
         assert!(p.is_writable(PhysAddr::new(0x10000 + 2 * PAGE_SIZE)));
@@ -186,7 +183,10 @@ mod tests {
     fn exploit_flips_ap_bits() {
         let mut p = perms();
         let target = PhysAddr::new(0x10000 + 2 * PAGE_SIZE + 7);
-        p.protect(MemRange::new(PhysAddr::new(0x10000 + 2 * PAGE_SIZE), PAGE_SIZE));
+        p.protect(MemRange::new(
+            PhysAddr::new(0x10000 + 2 * PAGE_SIZE),
+            PAGE_SIZE,
+        ));
         assert!(!p.is_writable(target));
         assert!(p.exploit_write_what_where(target));
         assert!(p.is_writable(target));

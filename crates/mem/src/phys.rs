@@ -184,12 +184,16 @@ mod tests {
     #[test]
     fn write_protection_faults() {
         let mut mem = PhysMemory::zeroed(MemRange::new(PhysAddr::new(0), 8192));
-        mem.perms_mut().protect(MemRange::new(PhysAddr::new(0), 4096));
+        mem.perms_mut()
+            .protect(MemRange::new(PhysAddr::new(0), 4096));
         let err = mem.write(PhysAddr::new(100), &[1]).unwrap_err();
         assert!(matches!(err, MemError::WriteProtected { .. }));
         // The unchecked path (post-exploit) succeeds.
         mem.write_unchecked(PhysAddr::new(100), &[1]).unwrap();
-        assert_eq!(mem.read(MemRange::new(PhysAddr::new(100), 1)).unwrap(), &[1]);
+        assert_eq!(
+            mem.read(MemRange::new(PhysAddr::new(100), 1)).unwrap(),
+            &[1]
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub struct ScanWindow {
     secs_per_byte: f64,
     observed: Vec<u8>,
     last_write: SimTime,
+    overlapping_writes: u64,
 }
 
 impl ScanWindow {
@@ -53,18 +54,9 @@ impl ScanWindow {
     ///
     /// Panics if `snapshot.len() != range.len()`, the range is empty, or the
     /// rate is not finite and positive.
-    pub fn begin(
-        range: MemRange,
-        start: SimTime,
-        secs_per_byte: f64,
-        snapshot: Vec<u8>,
-    ) -> Self {
+    pub fn begin(range: MemRange, start: SimTime, secs_per_byte: f64, snapshot: Vec<u8>) -> Self {
         assert!(!range.is_empty(), "empty scan range");
-        assert_eq!(
-            snapshot.len() as u64,
-            range.len(),
-            "snapshot size mismatch"
-        );
+        assert_eq!(snapshot.len() as u64, range.len(), "snapshot size mismatch");
         assert!(
             secs_per_byte.is_finite() && secs_per_byte > 0.0,
             "invalid scan rate {secs_per_byte}"
@@ -75,6 +67,7 @@ impl ScanWindow {
             secs_per_byte,
             observed: snapshot,
             last_write: SimTime::ZERO,
+            overlapping_writes: 0,
         }
     }
 
@@ -128,6 +121,7 @@ impl ScanWindow {
         let Some(hit) = self.range.intersection(&write_range) else {
             return;
         };
+        self.overlapping_writes += 1;
         for i in 0..hit.len() {
             let a = hit.start() + i;
             let scan_off = a.offset_from(self.range.start());
@@ -136,6 +130,19 @@ impl ScanWindow {
                 self.observed[scan_off as usize] = bytes[src_off];
             }
         }
+    }
+
+    /// Number of writes that landed inside the scanned range while the
+    /// window was open — regardless of whether the racing write beat the
+    /// per-byte read instant. Nonzero means the scan is *torn*: it raced a
+    /// concurrent mutator and its observation is not an atomic snapshot.
+    pub fn overlapping_writes(&self) -> u64 {
+        self.overlapping_writes
+    }
+
+    /// `true` if at least one concurrent write intersected the window.
+    pub fn is_torn(&self) -> bool {
+        self.overlapping_writes > 0
     }
 
     /// The byte string the scanner observed.
@@ -177,17 +184,27 @@ mod tests {
             vec![7, 8, 9],
         );
         assert_eq!(w.observed(), &[7, 8, 9]);
+        assert!(!w.is_torn());
+    }
+
+    #[test]
+    fn overlapping_writes_mark_the_window_torn() {
+        let mut w = window(10, 100);
+        // A write wholly outside the range does not tear the window.
+        w.note_write(SimTime::from_micros(1), PhysAddr::new(0), &[1; 4]);
+        assert_eq!(w.overlapping_writes(), 0);
+        // One intersecting the range does, even if every racing byte was
+        // already read (last read instant is 1900ns here).
+        w.note_write(SimTime::from_nanos(1950), PhysAddr::new(1000), &[2; 4]);
+        assert_eq!(w.overlapping_writes(), 1);
+        assert!(w.is_torn());
     }
 
     #[test]
     fn write_before_read_is_seen() {
         let mut w = window(10, 100);
         // Byte 9 is read at 1µs + 900ns; write at 1µs + 500ns to byte 9.
-        w.note_write(
-            SimTime::from_nanos(1_500),
-            PhysAddr::new(1009),
-            &[0xFF],
-        );
+        w.note_write(SimTime::from_nanos(1_500), PhysAddr::new(1009), &[0xFF]);
         assert_eq!(w.observed()[9], 0xFF);
     }
 
@@ -243,13 +260,21 @@ mod tests {
         let mut w2 = ScanWindow::begin(w.range(), w.start(), 10e-9, snapshot_with_hijack);
         // Restore lands at 400ns — before byte 50's read instant (500ns):
         w2.note_write(SimTime::from_nanos(400), PhysAddr::new(50), &[0x41]);
-        assert_eq!(w2.observed()[50], 0x41, "attacker wins: restore beat the scan");
+        assert_eq!(
+            w2.observed()[50],
+            0x41,
+            "attacker wins: restore beat the scan"
+        );
         // Restore lands at 600ns — after byte 50 was read: hijack observed.
         let mut snapshot_with_hijack = vec![0x41; 100];
         snapshot_with_hijack[50] = 0x66;
         let mut w3 = ScanWindow::begin(w.range(), w.start(), 10e-9, snapshot_with_hijack);
         w3.note_write(SimTime::from_nanos(600), PhysAddr::new(50), &[0x41]);
-        assert_eq!(w3.observed()[50], 0x66, "defender wins: scan beat the restore");
+        assert_eq!(
+            w3.observed()[50],
+            0x66,
+            "defender wins: scan beat the restore"
+        );
         let _ = w;
     }
 

@@ -74,8 +74,7 @@ mod tests {
     fn setup() -> (KernelLayout, PhysMemory, SecureStorage<AuthorizedHashTable>) {
         let layout = KernelLayout::paper();
         let mem = PhysMemory::with_image(&layout, 11);
-        let table =
-            measure_at_boot(&mem, &layout.segment_ranges(), HashAlgorithm::Djb2).unwrap();
+        let table = measure_at_boot(&mem, &layout.segment_ranges(), HashAlgorithm::Djb2).unwrap();
         (layout, mem, table)
     }
 
@@ -99,7 +98,10 @@ mod tests {
         mem.write_unchecked(addr, &evil).unwrap();
         let mut tampered = Vec::new();
         for (idx, area) in layout.segment_ranges().iter().enumerate() {
-            if verify_area_now(&mem, *area, idx, &table).unwrap().is_tampered() {
+            if verify_area_now(&mem, *area, idx, &table)
+                .unwrap()
+                .is_tampered()
+            {
                 tampered.push(idx);
             }
         }
@@ -111,15 +113,14 @@ mod tests {
         let (layout, mut mem, table) = setup();
         let addr = layout.syscall_entry_addr(satin_mem::layout::GETTID_NR);
         let area = layout.segment_range(satin_mem::PAPER_SYSCALL_AREA);
-        let original = mem
-            .read(MemRange::new(addr, 8))
-            .unwrap()
-            .to_vec();
+        let original = mem.read(MemRange::new(addr, 8)).unwrap().to_vec();
         let evil = satin_mem::image::hijacked_entry_bytes(&layout, 5);
         mem.write_unchecked(addr, &evil).unwrap();
-        assert!(verify_area_now(&mem, area, satin_mem::PAPER_SYSCALL_AREA, &table)
-            .unwrap()
-            .is_tampered());
+        assert!(
+            verify_area_now(&mem, area, satin_mem::PAPER_SYSCALL_AREA, &table)
+                .unwrap()
+                .is_tampered()
+        );
         mem.write_unchecked(addr, &original).unwrap();
         assert_eq!(
             verify_area_now(&mem, area, satin_mem::PAPER_SYSCALL_AREA, &table).unwrap(),

@@ -92,11 +92,19 @@ mod tests {
         let mem = PhysMemory::with_image(&layout, 3);
         let area = layout.segment_range(1);
         let (_, direct) = begin_scan(
-            &mem, area, SimTime::ZERO, ByteRate::new(1e-8), ScanStrategy::DirectHash,
+            &mem,
+            area,
+            SimTime::ZERO,
+            ByteRate::new(1e-8),
+            ScanStrategy::DirectHash,
         )
         .unwrap();
         let (_, snap) = begin_scan(
-            &mem, area, SimTime::ZERO, ByteRate::new(1e-8), ScanStrategy::SnapshotThenHash,
+            &mem,
+            area,
+            SimTime::ZERO,
+            ByteRate::new(1e-8),
+            ScanStrategy::SnapshotThenHash,
         )
         .unwrap();
         assert_eq!(direct.secure_memory_bytes, 0);
@@ -109,7 +117,11 @@ mod tests {
         let mem = PhysMemory::with_image(&layout, 3);
         let bogus = MemRange::new(layout.range().end(), 16);
         assert!(begin_scan(
-            &mem, bogus, SimTime::ZERO, ByteRate::new(1e-8), ScanStrategy::DirectHash,
+            &mem,
+            bogus,
+            SimTime::ZERO,
+            ByteRate::new(1e-8),
+            ScanStrategy::DirectHash,
         )
         .is_err());
     }

@@ -99,11 +99,26 @@ mod tests {
     #[test]
     fn accumulates_per_core() {
         let mut tsp = TestSecurePayload::new(3);
-        tsp.record_invocation(CoreId::new(0), SimTime::from_secs(1), SimDuration::from_millis(5));
-        tsp.record_invocation(CoreId::new(0), SimTime::from_secs(2), SimDuration::from_millis(5));
-        tsp.record_invocation(CoreId::new(2), SimTime::from_secs(3), SimDuration::from_millis(3));
+        tsp.record_invocation(
+            CoreId::new(0),
+            SimTime::from_secs(1),
+            SimDuration::from_millis(5),
+        );
+        tsp.record_invocation(
+            CoreId::new(0),
+            SimTime::from_secs(2),
+            SimDuration::from_millis(5),
+        );
+        tsp.record_invocation(
+            CoreId::new(2),
+            SimTime::from_secs(3),
+            SimDuration::from_millis(3),
+        );
         assert_eq!(tsp.stats(CoreId::new(0)).invocations, 2);
-        assert_eq!(tsp.stats(CoreId::new(0)).residency, SimDuration::from_millis(10));
+        assert_eq!(
+            tsp.stats(CoreId::new(0)).residency,
+            SimDuration::from_millis(10)
+        );
         assert_eq!(tsp.stats(CoreId::new(1)).invocations, 0);
         assert_eq!(tsp.total_invocations(), 3);
         assert_eq!(tsp.total_residency(), SimDuration::from_millis(13));

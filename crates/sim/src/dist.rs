@@ -50,7 +50,10 @@ impl Constant {
     ///
     /// Panics if `value` is negative or non-finite.
     pub fn new(value: f64) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "invalid constant {value}");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "invalid constant {value}"
+        );
         Constant { value }
     }
 }
@@ -300,7 +303,11 @@ impl<B: SecondsDist, T: SecondsDist> HeavyTail<B, T> {
             (0.0..=1.0).contains(&tail_prob),
             "tail probability {tail_prob} out of range"
         );
-        HeavyTail { body, tail, tail_prob }
+        HeavyTail {
+            body,
+            tail,
+            tail_prob,
+        }
     }
 
     /// Probability of drawing from the tail component.
@@ -391,9 +398,7 @@ mod tests {
         let d = HeavyTail::new(Constant::new(1e-4), Constant::new(1.3e-3), 0.001);
         let mut rng = SimRng::seed_from(5);
         let n = 100_000;
-        let tail_hits = (0..n)
-            .filter(|_| d.sample_secs(&mut rng) > 1e-3)
-            .count();
+        let tail_hits = (0..n).filter(|_| d.sample_secs(&mut rng) > 1e-3).count();
         let rate = tail_hits as f64 / n as f64;
         assert!((rate - 0.001).abs() < 0.0005, "tail rate {rate}");
     }
@@ -404,11 +409,16 @@ mod tests {
         let d = HeavyTail::new(Constant::new(1e-4), Constant::new(1.3e-3), 0.0005);
         let max_of = |n: usize, seed: u64| {
             let mut rng = SimRng::seed_from(seed);
-            (0..n).map(|_| d.sample_secs(&mut rng)).fold(0.0f64, f64::max)
+            (0..n)
+                .map(|_| d.sample_secs(&mut rng))
+                .fold(0.0f64, f64::max)
         };
         let small: f64 = (0..20).map(|s| max_of(100, s)).sum::<f64>() / 20.0;
         let large: f64 = (0..20).map(|s| max_of(20_000, 100 + s)).sum::<f64>() / 20.0;
-        assert!(large > small, "expected per-round max to grow: {small} vs {large}");
+        assert!(
+            large > small,
+            "expected per-round max to grow: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! The simulation driver: a clock plus an event queue.
 
 use crate::error::SimError;
+use crate::observe::SimObserver;
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use std::fmt;
 
 /// A discrete-event simulator over events of type `E`.
 ///
 /// The simulator owns the virtual clock and the pending-event queue. Higher
-/// layers (the [`satin-system`] machine) pop events, advance state, and push
+/// layers (the `satin-system` machine) pop events, advance state, and push
 /// follow-up events. Keeping the engine generic and dumb makes its invariants
-/// (time monotonicity, FIFO ties) easy to test in isolation.
-///
-/// [`satin-system`]: https://example.invalid/satin
+/// (time monotonicity, FIFO ties) easy to test in isolation. A read-only
+/// [`SimObserver`] can be installed with [`Simulator::set_observer`] to watch
+/// every schedule and dispatch without perturbing them.
 ///
 /// # Example
 ///
@@ -29,12 +31,24 @@ use crate::time::{SimDuration, SimTime};
 /// sim.schedule_after(SimDuration::from_nanos(5), Ev::Pong);
 /// assert_eq!(sim.pop().unwrap().1, Ev::Pong);
 /// ```
-#[derive(Debug)]
 pub struct Simulator<E> {
     now: SimTime,
     queue: EventQueue<E>,
     dispatched: u64,
     event_budget: u64,
+    observer: Option<Box<dyn SimObserver<E>>>,
+}
+
+impl<E> fmt::Debug for Simulator<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("queue", &self.queue)
+            .field("dispatched", &self.dispatched)
+            .field("event_budget", &self.event_budget)
+            .field("observer", &self.observer.as_ref().map(|_| "installed"))
+            .finish()
+    }
 }
 
 impl<E> Default for Simulator<E> {
@@ -55,6 +69,7 @@ impl<E> Simulator<E> {
             queue: EventQueue::new(),
             dispatched: 0,
             event_budget: Self::DEFAULT_EVENT_BUDGET,
+            observer: None,
         }
     }
 
@@ -81,6 +96,28 @@ impl<E> Simulator<E> {
         self.queue.len()
     }
 
+    /// Installs an [`SimObserver`] notified on every schedule and dispatch.
+    ///
+    /// Observers are read-only instrumentation: installing (or removing) one
+    /// never changes event order, timing, or any other simulation outcome.
+    /// Any previously installed observer is returned.
+    pub fn set_observer(
+        &mut self,
+        observer: Box<dyn SimObserver<E>>,
+    ) -> Option<Box<dyn SimObserver<E>>> {
+        self.observer.replace(observer)
+    }
+
+    /// Removes and returns the installed observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn SimObserver<E>>> {
+        self.observer.take()
+    }
+
+    /// `true` if an observer is installed.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Errors
@@ -95,7 +132,7 @@ impl<E> Simulator<E> {
                 requested: at,
             });
         }
-        self.queue.push(at, event);
+        self.enqueue(at, event);
         Ok(())
     }
 
@@ -113,6 +150,15 @@ impl<E> Simulator<E> {
     /// Schedules `event` to fire `delay` after the current time.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
         let at = self.now + delay;
+        self.enqueue(at, event);
+    }
+
+    /// Notifies the observer (if any) and pushes onto the queue.
+    fn enqueue(&mut self, at: SimTime, event: E) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            // Depth counts the event about to be inserted.
+            obs.on_scheduled(at, self.queue.next_seq(), &event, self.queue.len() + 1);
+        }
         self.queue.push(at, event);
     }
 
@@ -120,10 +166,13 @@ impl<E> Simulator<E> {
     ///
     /// Returns `None` when no events are pending.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let (t, ev) = self.queue.pop()?;
+        let (t, seq, ev) = self.queue.pop_entry()?;
         debug_assert!(t >= self.now, "event queue returned a past event");
         self.now = t;
         self.dispatched += 1;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_dispatched(t, seq, &ev, self.queue.len());
+        }
         ev_into(t, ev)
     }
 
@@ -267,7 +316,95 @@ mod tests {
                 true
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::EventBudgetExhausted { budget: 100 }));
+        assert!(matches!(
+            err,
+            SimError::EventBudgetExhausted { budget: 100 }
+        ));
+    }
+
+    #[test]
+    fn event_budget_boundary_is_inclusive() {
+        // Exactly `budget` dispatches is fine; one more trips the error.
+        for (n, ok) in [(100u64, true), (101, false)] {
+            let mut sim: Simulator<u64> = Simulator::with_event_budget(100);
+            for i in 0..n {
+                sim.schedule_at(SimTime::from_nanos(i), i);
+            }
+            let result = sim.run(|_, _, _| true);
+            assert_eq!(result.is_ok(), ok, "budget 100, {n} events");
+            assert_eq!(sim.dispatched(), n.min(101));
+        }
+    }
+
+    #[test]
+    fn event_budget_error_leaves_queue_intact() {
+        let mut sim: Simulator<u64> = Simulator::with_event_budget(2);
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_nanos(i), i);
+        }
+        sim.run(|_, _, _| true).unwrap_err();
+        // Events past the budget stay queued for post-mortem inspection.
+        assert_eq!(sim.pending(), 2);
+    }
+
+    #[test]
+    fn observer_install_and_take_roundtrip() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        assert!(!sim.has_observer());
+        let prev = sim.set_observer(Box::new(crate::observe::QueueDepthProbe::default()));
+        assert!(prev.is_none());
+        assert!(sim.has_observer());
+        assert!(sim.take_observer().is_some());
+        assert!(!sim.has_observer());
+    }
+
+    proptest! {
+        /// The observer sees dispatches in strict `(time, seq)` order, and
+        /// every scheduled event is dispatched exactly once — installing the
+        /// observer reveals the queue's order without changing it.
+        #[test]
+        fn prop_observer_sees_dispatch_order(
+            times in proptest::collection::vec(0u64..500, 1..200),
+        ) {
+            use crate::observe::SimObserver;
+            use std::cell::RefCell;
+            use std::rc::Rc;
+
+            #[derive(Default)]
+            struct Recorder {
+                scheduled: Rc<RefCell<Vec<(SimTime, u64)>>>,
+                dispatched: Rc<RefCell<Vec<(SimTime, u64)>>>,
+            }
+            impl SimObserver<usize> for Recorder {
+                fn on_scheduled(&mut self, at: SimTime, seq: u64, _: &usize, _: usize) {
+                    self.scheduled.borrow_mut().push((at, seq));
+                }
+                fn on_dispatched(&mut self, time: SimTime, seq: u64, _: &usize, _: usize) {
+                    self.dispatched.borrow_mut().push((time, seq));
+                }
+            }
+
+            let rec = Recorder::default();
+            let (scheduled, dispatched) =
+                (Rc::clone(&rec.scheduled), Rc::clone(&rec.dispatched));
+            let mut sim: Simulator<usize> = Simulator::new();
+            sim.set_observer(Box::new(rec));
+            for (i, t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(*t), i);
+            }
+            sim.run(|_, _, _| true).unwrap();
+
+            let disp = dispatched.borrow();
+            prop_assert_eq!(disp.len(), times.len());
+            // Strict (time, seq) order: seq breaks every time tie uniquely.
+            for pair in disp.windows(2) {
+                prop_assert!(pair[0] < pair[1], "out of order: {:?}", pair);
+            }
+            // Dispatches are exactly the scheduled set.
+            let mut sched = scheduled.borrow().clone();
+            sched.sort_unstable();
+            prop_assert_eq!(&*disp, &sched[..]);
+        }
     }
 
     proptest! {

@@ -27,7 +27,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::ScheduleInPast { now, requested } => {
-                write!(f, "event scheduled in the past: now {now}, requested {requested}")
+                write!(
+                    f,
+                    "event scheduled in the past: now {now}, requested {requested}"
+                )
             }
             SimError::EventBudgetExhausted { budget } => {
                 write!(f, "simulation exceeded event budget of {budget} events")

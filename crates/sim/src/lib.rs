@@ -8,7 +8,9 @@
 //! virtual: this crate provides nanosecond-resolution [`SimTime`], an ordered
 //! [`EventQueue`] with stable FIFO tie-breaking, seeded and stream-split
 //! deterministic randomness ([`rng::SimRng`]), calibrated probability
-//! distributions ([`dist`]), and a bounded [`trace::TraceLog`].
+//! distributions ([`dist`]), a bounded [`trace::TraceLog`] with typed
+//! [`trace::TraceCategory`] labels, and a read-only [`observe::SimObserver`]
+//! hook for instrumenting the engine without perturbing it.
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@
 pub mod dist;
 pub mod engine;
 pub mod error;
+pub mod observe;
 pub mod queue;
 pub mod rng;
 pub mod time;
@@ -35,7 +38,8 @@ pub mod trace;
 
 pub use engine::Simulator;
 pub use error::SimError;
+pub use observe::{QueueDepthProbe, SimObserver};
 pub use queue::EventQueue;
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceEvent, TraceLog};
+pub use trace::{TraceCategory, TraceEvent, TraceLog};

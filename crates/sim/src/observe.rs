@@ -1,0 +1,122 @@
+//! Passive instrumentation hooks on the simulation engine.
+//!
+//! A [`SimObserver`] sees every event the [`Simulator`] schedules and
+//! dispatches, together with the queue sequence number that determines FIFO
+//! tie-breaking and the queue depth at that instant. Observers are strictly
+//! read-only with respect to the simulation: they cannot schedule, cancel, or
+//! reorder events, so installing one can never change an experiment's
+//! outcome — only record it. The engine runs with no observer by default and
+//! pays nothing for the feature beyond an `Option` check.
+//!
+//! [`Simulator`]: crate::Simulator
+
+use crate::time::SimTime;
+
+/// Hooks invoked by the [`Simulator`](crate::Simulator) engine loop.
+///
+/// All methods have empty default bodies so an observer only implements the
+/// hooks it cares about.
+///
+/// # Example
+///
+/// ```
+/// use satin_sim::{SimObserver, SimTime, Simulator, SimDuration};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// #[derive(Default)]
+/// struct SeqRecorder(Rc<RefCell<Vec<u64>>>);
+///
+/// impl SimObserver<&'static str> for SeqRecorder {
+///     fn on_dispatched(&mut self, _: SimTime, seq: u64, _: &&'static str, _: usize) {
+///         self.0.borrow_mut().push(seq);
+///     }
+/// }
+///
+/// let seen = Rc::new(RefCell::new(Vec::new()));
+/// let mut sim = Simulator::new();
+/// sim.set_observer(Box::new(SeqRecorder(Rc::clone(&seen))));
+/// sim.schedule_after(SimDuration::from_nanos(5), "b");
+/// sim.schedule_after(SimDuration::from_nanos(5), "c");
+/// sim.schedule_after(SimDuration::from_nanos(1), "a");
+/// while sim.pop().is_some() {}
+/// assert_eq!(*seen.borrow(), vec![2, 0, 1]); // "a" first, then FIFO ties
+/// ```
+pub trait SimObserver<E> {
+    /// Called when an event is accepted into the queue.
+    ///
+    /// `seq` is the queue sequence number assigned to the event (the FIFO
+    /// tie-breaker among equal times) and `queue_depth` is the number of
+    /// pending events *including* this one.
+    fn on_scheduled(&mut self, at: SimTime, seq: u64, event: &E, queue_depth: usize) {
+        let _ = (at, seq, event, queue_depth);
+    }
+
+    /// Called when an event is popped for dispatch, after the clock has
+    /// advanced to its timestamp.
+    ///
+    /// `queue_depth` is the number of events still pending *after* this one
+    /// was removed.
+    fn on_dispatched(&mut self, time: SimTime, seq: u64, event: &E, queue_depth: usize) {
+        let _ = (time, seq, event, queue_depth);
+    }
+}
+
+/// An observer that counts schedule/dispatch activity and tracks the highest
+/// queue depth seen — the cheapest useful observer, handy as a smoke probe.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct QueueDepthProbe {
+    /// Events accepted into the queue while this probe was installed.
+    pub scheduled: u64,
+    /// Events dispatched while this probe was installed.
+    pub dispatched: u64,
+    /// Highest pending-event count observed.
+    pub max_depth: usize,
+}
+
+impl<E> SimObserver<E> for QueueDepthProbe {
+    fn on_scheduled(&mut self, _at: SimTime, _seq: u64, _event: &E, queue_depth: usize) {
+        self.scheduled += 1;
+        self.max_depth = self.max_depth.max(queue_depth);
+    }
+
+    fn on_dispatched(&mut self, _time: SimTime, _seq: u64, _event: &E, _queue_depth: usize) {
+        self.dispatched += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::time::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct SharedProbe(Rc<RefCell<QueueDepthProbe>>);
+
+    impl<E> SimObserver<E> for SharedProbe {
+        fn on_scheduled(&mut self, at: SimTime, seq: u64, event: &E, depth: usize) {
+            self.0.borrow_mut().on_scheduled(at, seq, event, depth);
+        }
+        fn on_dispatched(&mut self, time: SimTime, seq: u64, event: &E, depth: usize) {
+            self.0.borrow_mut().on_dispatched(time, seq, event, depth);
+        }
+    }
+
+    #[test]
+    fn probe_counts_and_tracks_depth() {
+        let shared = Rc::new(RefCell::new(QueueDepthProbe::default()));
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.set_observer(Box::new(SharedProbe(Rc::clone(&shared))));
+        for i in 0..4 {
+            sim.schedule_after(SimDuration::from_nanos(i), i as u32);
+        }
+        while sim.pop().is_some() {}
+        let probe = shared.borrow();
+        assert_eq!(probe.scheduled, 4);
+        assert_eq!(probe.dispatched, 4);
+        assert_eq!(probe.max_depth, 4);
+    }
+}

@@ -75,7 +75,18 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        self.pop_entry().map(|(t, _, e)| (t, e))
+    }
+
+    /// Like [`EventQueue::pop`], but also returns the event's sequence number
+    /// (the FIFO tie-breaker assigned at push time).
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        self.heap.pop().map(|e| (e.time, e.seq, e.payload))
+    }
+
+    /// The sequence number the *next* pushed event will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// The time of the earliest pending event, if any.

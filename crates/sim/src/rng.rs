@@ -8,13 +8,13 @@
 //! [`RngFactory`] so that adding a draw in one subsystem does not perturb the
 //! sequence seen by another.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic random number generator for simulation components.
 ///
-/// Thin wrapper over a seeded [`StdRng`] with a few convenience draws used
-/// throughout the reproduction.
+/// Self-contained xoshiro256++ generator (seeded through a SplitMix64
+/// expansion, the initialization the xoshiro authors recommend) with a few
+/// convenience draws used throughout the reproduction. Carrying our own
+/// generator keeps the workspace free of registry dependencies and pins the
+/// stream bit-for-bit across toolchains.
 ///
 /// # Example
 ///
@@ -24,27 +24,44 @@ use rand::{Rng, RngCore, SeedableRng};
 /// let mut b = SimRng::seed_from(42);
 /// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state; the
+        // all-zero state (unreachable from SplitMix64) would be a fixed point.
+        let mut z = seed;
+        let mut next = || {
+            let out = splitmix64(z);
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            out
+        };
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Uniform draw in `[0, 1)`: the top 53 bits scaled by 2⁻⁵³.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -53,7 +70,10 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + self.uniform_f64() * (hi - lo)
     }
 
@@ -64,7 +84,17 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "SimRng::below(0)");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift with rejection: unbiased and branch-light.
+        let mut m = u128::from(self.next_u64()) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = u128::from(self.next_u64()) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer draw in `[lo, hi]` inclusive.
@@ -74,7 +104,11 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn int_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "invalid range [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
     }
 
     /// Bernoulli draw: `true` with probability `p`.

@@ -329,7 +329,9 @@ mod tests {
 
     #[test]
     fn checked_ops() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert!(SimDuration::MAX.checked_mul(2).is_none());
         assert_eq!(
             SimDuration::from_nanos(3).checked_mul(3),

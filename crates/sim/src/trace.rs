@@ -7,14 +7,108 @@
 use crate::time::SimTime;
 use std::collections::VecDeque;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A typed trace category.
+///
+/// The recurring categories emitted by the machine, the secure service, and
+/// the attack models are named variants, so call sites and filters can't
+/// drift apart through typos. Ad-hoc categories (workload bodies, tests,
+/// examples) use [`TraceCategory::Custom`]; `From<&'static str>` normalizes
+/// known strings to their variant, so legacy string call sites keep working
+/// and always compare equal to the typed form.
+#[derive(Debug, Clone, Copy, Eq)]
+pub enum TraceCategory {
+    /// A core entered the secure world (`secure.enter`).
+    SecureEnter,
+    /// A core left the secure world (`secure.exit`).
+    SecureExit,
+    /// An introspection scan window opened (`secure.scan`).
+    SecureScan,
+    /// SATIN restored tampered kernel bytes (`satin.repair`).
+    SatinRepair,
+    /// SATIN raised an integrity alarm (`satin.alarm`).
+    SatinAlarm,
+    /// The rootkit installed its hook (`attack.install`).
+    AttackInstall,
+    /// The rootkit restored clean bytes to dodge a scan (`attack.restore`).
+    AttackRestore,
+    /// The rootkit re-hid after a scan passed (`attack.hide`).
+    AttackHide,
+    /// The TZ-Evader predicted the next scan (`attack.predict`).
+    AttackPredict,
+    /// The KProber-1 probe task observed a timing anomaly
+    /// (`attack.kprober1`).
+    AttackKprober,
+    /// Any other category, by its string name.
+    Custom(&'static str),
+}
+
+impl TraceCategory {
+    /// The category's stable string name, e.g. `"secure.enter"`.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            TraceCategory::SecureEnter => "secure.enter",
+            TraceCategory::SecureExit => "secure.exit",
+            TraceCategory::SecureScan => "secure.scan",
+            TraceCategory::SatinRepair => "satin.repair",
+            TraceCategory::SatinAlarm => "satin.alarm",
+            TraceCategory::AttackInstall => "attack.install",
+            TraceCategory::AttackRestore => "attack.restore",
+            TraceCategory::AttackHide => "attack.hide",
+            TraceCategory::AttackPredict => "attack.predict",
+            TraceCategory::AttackKprober => "attack.kprober1",
+            TraceCategory::Custom(name) => name,
+        }
+    }
+}
+
+impl From<&'static str> for TraceCategory {
+    fn from(name: &'static str) -> Self {
+        match name {
+            "secure.enter" => TraceCategory::SecureEnter,
+            "secure.exit" => TraceCategory::SecureExit,
+            "secure.scan" => TraceCategory::SecureScan,
+            "satin.repair" => TraceCategory::SatinRepair,
+            "satin.alarm" => TraceCategory::SatinAlarm,
+            "attack.install" => TraceCategory::AttackInstall,
+            "attack.restore" => TraceCategory::AttackRestore,
+            "attack.hide" => TraceCategory::AttackHide,
+            "attack.predict" => TraceCategory::AttackPredict,
+            "attack.kprober1" => TraceCategory::AttackKprober,
+            other => TraceCategory::Custom(other),
+        }
+    }
+}
+
+// Equality and hashing go through the string name so a hand-built
+// `Custom("secure.enter")` still equals `SecureEnter`.
+impl PartialEq for TraceCategory {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Hash for TraceCategory {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` honors width/alignment flags, e.g. `{:<18}`.
+        f.pad(self.as_str())
+    }
+}
 
 /// One trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When the event happened.
     pub time: SimTime,
-    /// Stable machine-readable category, e.g. `"secure.enter"`.
-    pub category: &'static str,
+    /// Stable machine-readable category, e.g. [`TraceCategory::SecureEnter`].
+    pub category: TraceCategory,
     /// Human-readable details.
     pub detail: String,
 }
@@ -95,7 +189,15 @@ impl TraceLog {
     }
 
     /// Appends an entry (no-op when disabled).
-    pub fn record(&mut self, time: SimTime, category: &'static str, detail: impl Into<String>) {
+    ///
+    /// `category` accepts either a [`TraceCategory`] or a `&'static str`
+    /// (normalized through `From`).
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        category: impl Into<TraceCategory>,
+        detail: impl Into<String>,
+    ) {
         if !self.enabled {
             return;
         }
@@ -105,7 +207,7 @@ impl TraceLog {
         }
         self.entries.push_back(TraceEvent {
             time,
-            category,
+            category: category.into(),
             detail: detail.into(),
         });
     }
@@ -135,7 +237,9 @@ impl TraceLog {
         &'a self,
         category: &'a str,
     ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.entries.iter().filter(move |e| e.category == category)
+        self.entries
+            .iter()
+            .filter(move |e| e.category.as_str() == category)
     }
 
     /// Clears all entries and the dropped counter.
@@ -149,7 +253,7 @@ impl TraceLog {
         let mut out = String::new();
         for e in &self.entries {
             if let Some(p) = category_prefix {
-                if !e.category.starts_with(p) {
+                if !e.category.as_str().starts_with(p) {
                     continue;
                 }
             }
@@ -169,8 +273,38 @@ mod tests {
         let mut log = TraceLog::new();
         log.record(SimTime::from_nanos(1), "x", "one");
         log.record(SimTime::from_nanos(2), "y", "two");
-        let cats: Vec<_> = log.iter().map(|e| e.category).collect();
+        let cats: Vec<_> = log.iter().map(|e| e.category.as_str()).collect();
         assert_eq!(cats, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn category_normalizes_known_strings() {
+        assert_eq!(
+            TraceCategory::from("secure.enter"),
+            TraceCategory::SecureEnter
+        );
+        assert_eq!(
+            TraceCategory::from("golden.rt"),
+            TraceCategory::Custom("golden.rt")
+        );
+        // Equality and Display go through the string name.
+        assert_eq!(
+            TraceCategory::Custom("secure.enter"),
+            TraceCategory::SecureEnter
+        );
+        assert_eq!(TraceCategory::SecureScan.to_string(), "secure.scan");
+        assert_eq!(
+            format!("{:<14}", TraceCategory::SecureScan),
+            "secure.scan   "
+        );
+    }
+
+    #[test]
+    fn typed_and_string_records_are_interchangeable() {
+        let mut log = TraceLog::new();
+        log.record(SimTime::from_nanos(1), TraceCategory::SecureEnter, "typed");
+        log.record(SimTime::from_nanos(2), "secure.enter", "string");
+        assert_eq!(log.by_category("secure.enter").count(), 2);
     }
 
     #[test]

@@ -67,12 +67,8 @@ pub fn boxplot_strip(fv: &FiveNumber, lo: f64, hi: f64, width: usize) -> String 
         ((frac * (width - 1) as f64).round() as usize).min(width - 1)
     };
     let mut strip = vec![' '; width];
-    for i in pos(fv.whisker_low)..=pos(fv.whisker_high) {
-        strip[i] = '-';
-    }
-    for i in pos(fv.q1)..=pos(fv.q3) {
-        strip[i] = '=';
-    }
+    strip[pos(fv.whisker_low)..=pos(fv.whisker_high)].fill('-');
+    strip[pos(fv.q1)..=pos(fv.q3)].fill('=');
     strip[pos(fv.median)] = '|';
     for o in &fv.outliers {
         strip[pos(*o)] = 'o';
@@ -85,12 +81,19 @@ pub fn boxplot_chart(rows: &[(String, FiveNumber)], width: usize) -> String {
     if rows.is_empty() {
         return String::new();
     }
-    let lo = rows.iter().map(|(_, f)| f.min).fold(f64::INFINITY, f64::min);
+    let lo = rows
+        .iter()
+        .map(|(_, f)| f.min)
+        .fold(f64::INFINITY, f64::min);
     let hi = rows
         .iter()
         .map(|(_, f)| f.max)
         .fold(f64::NEG_INFINITY, f64::max);
-    let (lo, hi) = if lo < hi { (lo, hi) } else { (lo - 0.5, hi + 0.5) };
+    let (lo, hi) = if lo < hi {
+        (lo, hi)
+    } else {
+        (lo - 0.5, hi + 0.5)
+    };
     let label_w = rows
         .iter()
         .map(|(l, _)| l.chars().count())

@@ -124,7 +124,11 @@ impl Table {
             }
             line.trim_end().to_string()
         };
-        out.push_str(&render_row(&self.headers, &widths, &vec![Align::Left; cols]));
+        out.push_str(&render_row(
+            &self.headers,
+            &widths,
+            &vec![Align::Left; cols],
+        ));
         out.push('\n');
         let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
         out.extend(std::iter::repeat('-').take(rule_len));

@@ -8,7 +8,7 @@ use satin_hw::{CoreId, CoreKind};
 use satin_kernel::syscall::SyscallTable;
 use satin_mem::phys::WriteRecord;
 use satin_mem::{KernelLayout, MemError, MemRange, PhysAddr, PhysMemory};
-use satin_sim::{SimDuration, SimRng, SimTime, TraceLog};
+use satin_sim::{SimDuration, SimRng, SimTime, TraceCategory, TraceLog};
 
 /// What a task does after its busy period ends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -283,7 +283,7 @@ impl<'a> RunCtx<'a> {
     }
 
     /// Appends a trace entry.
-    pub fn trace(&mut self, category: &'static str, detail: impl Into<String>) {
+    pub fn trace(&mut self, category: impl Into<TraceCategory>, detail: impl Into<String>) {
         self.trace.record(self.now, category, detail);
     }
 

@@ -50,10 +50,16 @@ mod tests {
 
     #[test]
     fn events_are_comparable() {
-        let a = SysEvent::Dispatch { core: CoreId::new(1) };
-        let b = SysEvent::Dispatch { core: CoreId::new(1) };
+        let a = SysEvent::Dispatch {
+            core: CoreId::new(1),
+        };
+        let b = SysEvent::Dispatch {
+            core: CoreId::new(1),
+        };
         assert_eq!(a, b);
-        let c = SysEvent::TaskWake { task: TaskId::new(0) };
+        let c = SysEvent::TaskWake {
+            task: TaskId::new(0),
+        };
         assert_ne!(a, c);
     }
 }

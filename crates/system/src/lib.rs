@@ -23,6 +23,7 @@ pub mod body;
 pub mod builder;
 pub mod event;
 pub mod machine;
+pub mod metrics;
 pub mod service;
 pub mod stats;
 pub mod timebuf;
@@ -30,5 +31,6 @@ pub mod timebuf;
 pub use body::{RunCtx, RunOutcome, Then, ThreadBody};
 pub use builder::SystemBuilder;
 pub use machine::{ActiveScan, System, TickHook};
+pub use metrics::{CoreMetrics, SysMetrics};
 pub use service::{BootCtx, ScanRequest, SecureCtx, SecureService};
 pub use timebuf::SharedTimeBuffer;

@@ -1,0 +1,56 @@
+//! Per-core state shared by the normal and secure paths.
+
+use crate::body::Then;
+use satin_kernel::tick::TickState;
+use satin_kernel::{KernelConfig, TaskId};
+use satin_sim::SimTime;
+
+/// The busy period currently executing on a core.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Running {
+    pub(super) task: TaskId,
+    pub(super) started: SimTime,
+    pub(super) busy_end: SimTime,
+    pub(super) then: Then,
+    /// Stale-completion guard: a `TaskDone` event only lands if its token
+    /// matches the period that scheduled it (preemption invalidates it).
+    pub(super) token: u64,
+}
+
+/// A core's residency in the secure world.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct SecureSession {
+    pub(super) fired: SimTime,
+    pub(super) scan_end: SimTime,
+}
+
+/// Everything the event loop tracks per core.
+pub(super) struct CoreState {
+    pub(super) running: Option<Running>,
+    pub(super) next_token: u64,
+    /// Generation guard for `SecureTimerFire`: re-arming bumps it, so a
+    /// superseded (already-queued) fire is ignored on delivery.
+    pub(super) timer_gen: u64,
+    pub(super) secure: Option<SecureSession>,
+    pub(super) pollution_until: SimTime,
+    /// Strength multiplier of the current interference window (scaled by
+    /// how loaded the machine was when the window opened — interrupting a
+    /// busy machine disturbs more state, which is why the paper's 6-task
+    /// overhead exceeds the 1-task overhead).
+    pub(super) pollution_strength: f64,
+    pub(super) tick: TickState,
+}
+
+impl CoreState {
+    pub(super) fn new(config: &KernelConfig) -> Self {
+        CoreState {
+            running: None,
+            next_token: 0,
+            timer_gen: 0,
+            secure: None,
+            pollution_until: SimTime::ZERO,
+            pollution_strength: 1.0,
+            tick: TickState::new(config),
+        }
+    }
+}

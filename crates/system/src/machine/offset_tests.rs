@@ -1,0 +1,95 @@
+//! Sleep-grid offset and interrupt-load behaviour tests.
+
+use super::*;
+use crate::body::RunOutcome;
+use crate::builder::SystemBuilder;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn sleep_aligned_offset_lands_on_shifted_grid() {
+    let mut s = SystemBuilder::new().seed(61).trace(false).build();
+    let wakes = Rc::new(RefCell::new(Vec::new()));
+    let w2 = wakes.clone();
+    let t = s.spawn(
+        "offset",
+        SchedClass::rt_max(),
+        Affinity::pinned(CoreId::new(0)),
+        move |ctx: &mut RunCtx<'_>| {
+            w2.borrow_mut().push(ctx.now().as_nanos());
+            RunOutcome::sleep_aligned_offset(
+                SimDuration::from_micros(1),
+                SimDuration::from_micros(200),
+                SimDuration::from_micros(60),
+            )
+        },
+    );
+    s.wake_at(t, SimTime::ZERO);
+    s.run_until(SimTime::from_millis(2));
+    let wakes = wakes.borrow();
+    assert!(wakes.len() >= 8, "{} activations", wakes.len());
+    // Every activation (after the first) starts at grid + 60µs + jitter.
+    for w in wakes.iter().skip(1) {
+        let phase = w % 200_000;
+        assert!(
+            (60_000..90_000).contains(&phase),
+            "activation at phase {phase}ns, want 60µs + small jitter"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "interrupt load")]
+fn interrupt_load_bounds_enforced() {
+    let mut s = SystemBuilder::new().seed(1).trace(false).build();
+    s.set_ns_interrupt_load(0.95);
+}
+
+#[test]
+fn interrupt_load_harmless_when_nonpreemptive() {
+    // With SATIN's GIC config the storm must not stretch scans.
+    use satin_hw::timing::ScanStrategy;
+    use satin_mem::MemRange;
+
+    struct OneScan(Rc<RefCell<Option<SimDuration>>>);
+    impl crate::SecureService for OneScan {
+        fn on_boot(&mut self, ctx: &mut crate::BootCtx<'_>) {
+            ctx.arm_core(CoreId::new(0), SimTime::from_millis(1))
+                .unwrap();
+        }
+        fn on_secure_timer(
+            &mut self,
+            _c: CoreId,
+            _ctx: &mut crate::SecureCtx<'_>,
+        ) -> Option<crate::ScanRequest> {
+            Some(crate::ScanRequest {
+                area_id: 0,
+                range: MemRange::new(satin_mem::PhysAddr::new(0x8008_0000), 500_000),
+                strategy: ScanStrategy::DirectHash,
+            })
+        }
+        fn on_scan_result(
+            &mut self,
+            _c: CoreId,
+            _r: &crate::ScanRequest,
+            _o: &[u8],
+            ctx: &mut crate::SecureCtx<'_>,
+        ) {
+            *self.0.borrow_mut() = Some(ctx.now().since(ctx.fired()));
+        }
+    }
+
+    let run = |load: f64| {
+        let mut s = SystemBuilder::new().seed(62).trace(false).build();
+        s.set_ns_interrupt_load(load);
+        let d = Rc::new(RefCell::new(None));
+        s.install_secure_service(OneScan(d.clone()));
+        s.run_until(SimTime::from_millis(50));
+        let v: Option<SimDuration> = *d.borrow();
+        v.expect("scan ran")
+    };
+    let quiet = run(0.0);
+    let storm = run(0.6);
+    // Same seed, same draws: identical round duration despite the storm.
+    assert_eq!(quiet, storm);
+}

@@ -1,0 +1,240 @@
+//! The world boundary: secure timer fires, the [`ActiveScan`] lifecycle,
+//! and the exit effects a secure round leaves on the normal world.
+
+use super::cores::SecureSession;
+use super::{ActiveScan, System};
+use crate::event::SysEvent;
+use crate::service::{ScanRequest, SecureCtx};
+use satin_hw::CoreId;
+use satin_mem::ScanWindow;
+use satin_sim::{SimDuration, SimTime, TraceCategory};
+
+impl System {
+    pub(super) fn on_secure_fire(&mut self, now: SimTime, core: CoreId, generation: u64) {
+        if self.cores[core.index()].timer_gen != generation {
+            return; // superseded by a re-arm
+        }
+        let should_fire = self
+            .platform
+            .secure_timer(core)
+            .map(|t| t.should_fire(now))
+            .unwrap_or(false);
+        if !should_fire || self.cores[core.index()].secure.is_some() {
+            return;
+        }
+        // One-shot: disable until the service re-arms.
+        self.platform
+            .secure_timer_mut(core)
+            .set_enabled(satin_hw::World::Secure, false)
+            .expect("secure world disables its own timer");
+        self.cores[core.index()].timer_gen += 1;
+
+        // The secure interrupt preempts whatever the normal world was doing.
+        self.preempt_current(now, core);
+
+        let switch = self
+            .platform
+            .timing()
+            .sample_ts_switch(&mut self.rng_timing);
+        let entry = self
+            .platform
+            .monitor_mut()
+            .enter_secure(core, now, switch)
+            .expect("core was in normal world");
+        self.stats.secure_entries += 1;
+        self.stats.metrics.core_mut(core).world_switches += 1;
+        self.trace.record(
+            now,
+            TraceCategory::SecureEnter,
+            format!("{core} switch={switch}"),
+        );
+
+        let request = self.call_service_timer(now, core);
+        match request {
+            Some(request) => {
+                let kind = self.platform.core_kind(core);
+                let rate = self.platform.timing().sample_scan_rate(
+                    kind,
+                    request.strategy,
+                    &mut self.rng_timing,
+                );
+                // Preemptive secure world (SCR_EL3.IRQ = 1): every NS
+                // interrupt pauses the scan, stretching its effective
+                // per-byte rate. SATIN's non-preemptive configuration pends
+                // them instead (see Gic::route), so the rate is unaffected.
+                let preemptible = self.platform.gic().config().irq_to_el3;
+                let stretch = if preemptible {
+                    1.0 / (1.0 - self.ns_interrupt_load)
+                } else {
+                    1.0
+                };
+                let snapshot = self
+                    .mem
+                    .read(request.range)
+                    .expect("scan request inside memory")
+                    .to_vec();
+                let window = ScanWindow::begin(
+                    request.range,
+                    entry,
+                    rate.secs_per_byte() * stretch,
+                    snapshot,
+                );
+                let scan_end = window.end();
+                self.trace.record(
+                    now,
+                    TraceCategory::SecureScan,
+                    format!(
+                        "{core} area={} len={} rate={:.3}ns/B",
+                        request.area_id,
+                        request.range.len(),
+                        rate.secs_per_byte() * 1e9
+                    ),
+                );
+                self.stats.metrics.core_mut(core).scans_started += 1;
+                self.scans.push(ActiveScan {
+                    core,
+                    request,
+                    window,
+                });
+                self.cores[core.index()].secure = Some(SecureSession {
+                    fired: now,
+                    scan_end,
+                });
+                self.sim
+                    .schedule_at(scan_end, SysEvent::SecureDone { core });
+            }
+            None => {
+                let scan_end = entry + SimDuration::from_micros(1);
+                self.cores[core.index()].secure = Some(SecureSession {
+                    fired: now,
+                    scan_end,
+                });
+                self.sim
+                    .schedule_at(scan_end, SysEvent::SecureDone { core });
+            }
+        }
+    }
+
+    fn call_service_timer(&mut self, now: SimTime, core: CoreId) -> Option<ScanRequest> {
+        let mut service = self.service.take()?;
+        let kind = self.platform.core_kind(core);
+        let mut rearm = None;
+        let request = {
+            let mut ctx = SecureCtx {
+                now,
+                fired: now,
+                core,
+                kind,
+                platform: &mut self.platform,
+                mem: &mut self.mem,
+                scans: &mut self.scans,
+                rng: &mut self.rng_secure,
+                trace: &mut self.trace,
+                rearm: &mut rearm,
+                repairs: &mut self.stats.secure_repairs,
+            };
+            service.on_secure_timer(core, &mut ctx)
+        };
+        self.service = Some(service);
+        self.schedule_rearm(rearm);
+        request
+    }
+
+    fn schedule_rearm(&mut self, rearm: Option<(CoreId, SimTime)>) {
+        if let Some((core, at)) = rearm {
+            let gen = self.cores[core.index()].timer_gen;
+            self.sim.schedule_at(
+                at,
+                SysEvent::SecureTimerFire {
+                    core,
+                    generation: gen,
+                },
+            );
+        }
+    }
+
+    pub(super) fn on_secure_done(&mut self, now: SimTime, core: CoreId) {
+        let Some(session) = self.cores[core.index()].secure else {
+            return;
+        };
+        debug_assert_eq!(session.scan_end, now);
+
+        // Resolve the finished scan (if this round scanned).
+        if let Some(pos) = self.scans.iter().position(|s| s.core == core) {
+            let scan = self.scans.remove(pos);
+            {
+                let m = self.stats.metrics.core_mut(core);
+                m.scans_completed += 1;
+                if scan.window.is_torn() {
+                    m.scans_torn += 1;
+                }
+            }
+            let observed = scan.window.into_observed();
+            if let Some(mut service) = self.service.take() {
+                let kind = self.platform.core_kind(core);
+                let mut rearm = None;
+                {
+                    let mut ctx = SecureCtx {
+                        now,
+                        fired: session.fired,
+                        core,
+                        kind,
+                        platform: &mut self.platform,
+                        mem: &mut self.mem,
+                        scans: &mut self.scans,
+                        rng: &mut self.rng_secure,
+                        trace: &mut self.trace,
+                        rearm: &mut rearm,
+                        repairs: &mut self.stats.secure_repairs,
+                    };
+                    service.on_scan_result(core, &scan.request, &observed, &mut ctx);
+                }
+                self.service = Some(service);
+                self.schedule_rearm(rearm);
+            }
+        }
+
+        let switch = self
+            .platform
+            .timing()
+            .sample_ts_switch(&mut self.rng_timing);
+        let resume = self
+            .platform
+            .monitor_mut()
+            .exit_secure(core, now, switch)
+            .expect("core was in secure world");
+        let residency = resume.since(session.fired);
+        self.tsp.record_invocation(core, session.fired, residency);
+        self.cores[core.index()].secure = None;
+        {
+            let m = self.stats.metrics.core_mut(core);
+            m.world_switches += 1;
+            m.pollution_windows += 1;
+        }
+        self.stats.metrics.record_publication_delay(residency);
+        // The scan streamed through shared cache/DRAM: the interference
+        // window opens machine-wide (see TimingModel::post_secure_slowdown),
+        // with strength scaled by how busy the machine was — interrupting a
+        // loaded machine disturbs more state (the paper's 6-task > 1-task
+        // ordering in Figure 7).
+        let n = self.cores.len();
+        let busy = (0..n)
+            .filter(|i| {
+                let c = CoreId::new(*i);
+                self.cores[*i].running.is_some() || self.sched.queue_len(c) > 0
+            })
+            .count();
+        let strength = 0.85 + 0.15 * busy as f64 / n as f64;
+        let pollution_until = resume + self.platform.timing().pollution_window;
+        for state in &mut self.cores {
+            state.pollution_until = state.pollution_until.max_of(pollution_until);
+            state.pollution_strength = strength;
+        }
+        self.trace.record(
+            now,
+            TraceCategory::SecureExit,
+            format!("{core} residency={residency}"),
+        );
+        self.sim.schedule_at(resume, SysEvent::Dispatch { core });
+    }
+}

@@ -3,7 +3,7 @@
 use satin_hw::timing::{ScanStrategy, TimingModel};
 use satin_hw::{CoreId, CoreKind, HwError, Platform, World};
 use satin_mem::{KernelLayout, MemError, MemRange, PhysAddr, PhysMemory};
-use satin_sim::{SimRng, SimTime, TraceLog};
+use satin_sim::{SimRng, SimTime, TraceCategory, TraceLog};
 
 /// A request to scan one area, returned by the service from its timer
 /// handler.
@@ -180,11 +180,7 @@ impl<'a> SecureCtx<'a> {
     /// # Errors
     ///
     /// Propagates [`MemError`] for out-of-bounds writes.
-    pub fn repair_normal_memory(
-        &mut self,
-        addr: PhysAddr,
-        bytes: &[u8],
-    ) -> Result<(), MemError> {
+    pub fn repair_normal_memory(&mut self, addr: PhysAddr, bytes: &[u8]) -> Result<(), MemError> {
         self.mem.write_unchecked(addr, bytes)?;
         for scan in self.scans.iter_mut() {
             scan.window.note_write(self.now, addr, bytes);
@@ -192,14 +188,14 @@ impl<'a> SecureCtx<'a> {
         *self.repairs += 1;
         self.trace.record(
             self.now,
-            "satin.repair",
+            TraceCategory::SatinRepair,
             format!("{} bytes restored at {addr}", bytes.len()),
         );
         Ok(())
     }
 
     /// Appends a trace entry.
-    pub fn trace(&mut self, category: &'static str, detail: impl Into<String>) {
+    pub fn trace(&mut self, category: impl Into<TraceCategory>, detail: impl Into<String>) {
         self.trace.record(self.now, category, detail);
     }
 }

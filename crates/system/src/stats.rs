@@ -1,5 +1,6 @@
 //! System-wide counters and per-task work accounting.
 
+use crate::metrics::SysMetrics;
 use satin_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -24,6 +25,8 @@ pub struct SysStats {
     pub tick_hook_time: SimDuration,
     /// Secure-world remediation writes to normal memory.
     pub secure_repairs: u64,
+    /// Per-core, per-subsystem breakdown (see [`SysMetrics`]).
+    pub metrics: SysMetrics,
     /// Genuine syscall pointers recorded at boot, for hijack detection.
     genuine_syscalls: BTreeMap<u64, u64>,
 }

@@ -72,7 +72,13 @@ impl SharedTimeBuffer {
     /// # Panics
     ///
     /// Panics if `core` is out of range or `visible_at < published`.
-    pub fn publish(&mut self, core: CoreId, published: SimTime, visible_at: SimTime, value: SimTime) {
+    pub fn publish(
+        &mut self,
+        core: CoreId,
+        published: SimTime,
+        visible_at: SimTime,
+        value: SimTime,
+    ) {
         assert!(visible_at >= published, "visibility before publication");
         let q = &mut self.slots[core.index()];
         if q.len() == self.depth {

@@ -28,7 +28,10 @@ impl SecureService for TableWatchdog {
     fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
         let mut table = AuthorizedHashTable::new(HashAlgorithm::Fnv1a);
         for (i, r) in self.targets.iter().enumerate() {
-            table.enroll(i, hash_bytes(HashAlgorithm::Fnv1a, ctx.mem().read(*r).unwrap()));
+            table.enroll(
+                i,
+                hash_bytes(HashAlgorithm::Fnv1a, ctx.mem().read(*r).unwrap()),
+            );
         }
         self.table = Some(table);
         // First wake on a random core.
@@ -112,7 +115,11 @@ fn main() {
     let alarms = alarms.borrow();
     println!("watchdog alarms: {}", alarms.len());
     for (at, target) in alarms.iter().take(3) {
-        let name = if *target == 0 { "syscall table" } else { "vector table" };
+        let name = if *target == 0 {
+            "syscall table"
+        } else {
+            "vector table"
+        };
         println!("  t={at:.3}s  target: {name}");
     }
     assert!(

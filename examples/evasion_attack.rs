@@ -32,7 +32,10 @@ fn main() {
     let uptime = evader.rootkit.active_time(now).as_secs_f64() / now.as_secs_f64();
     println!("--- after {:.1}s of simulated time ---", now.as_secs_f64());
     println!("introspection rounds: {}", defense.rounds());
-    println!("rounds that observed tampering: {}", defense.tampered_rounds());
+    println!(
+        "rounds that observed tampering: {}",
+        defense.tampered_rounds()
+    );
     println!("prober detection events: {detections}");
     println!("hides started/completed: {hides}/{completed}, reinstalls: {reinstalls}");
     println!("attack uptime: {:.1}%", uptime * 100.0);

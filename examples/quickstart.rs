@@ -67,7 +67,9 @@ fn main() {
         None => println!("no alarm — unexpected for a persistent hijack!"),
     }
     assert!(
-        alarms.iter().all(|a| a.area == satin::mem::PAPER_SYSCALL_AREA),
+        alarms
+            .iter()
+            .all(|a| a.area == satin::mem::PAPER_SYSCALL_AREA),
         "alarms must point at the hijacked area"
     );
     println!("quickstart OK");

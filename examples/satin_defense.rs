@@ -45,7 +45,10 @@ fn main() {
         .filter(|r| evader.rootkit.was_active_at(r.fired))
         .count();
 
-    println!("--- after {:.0}s of simulated time ---", sys.now().as_secs_f64());
+    println!(
+        "--- after {:.0}s of simulated time ---",
+        sys.now().as_secs_f64()
+    );
     println!(
         "rounds: {}   full sweeps: {}",
         rounds_done.len(),

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection_campaign-86aafaf2e4912ab2.d: crates/bench/benches/detection_campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection_campaign-86aafaf2e4912ab2.rmeta: crates/bench/benches/detection_campaign.rs Cargo.toml
+
+crates/bench/benches/detection_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

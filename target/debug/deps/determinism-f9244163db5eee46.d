@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f9244163db5eee46.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f9244163db5eee46: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_overhead-3942f71432256900.d: crates/bench/benches/fig7_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_overhead-3942f71432256900.rmeta: crates/bench/benches/fig7_overhead.rs Cargo.toml
+
+crates/bench/benches/fig7_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

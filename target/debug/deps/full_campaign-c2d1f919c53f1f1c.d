@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_campaign-c2d1f919c53f1f1c.d: tests/full_campaign.rs
+
+/root/repo/target/debug/deps/full_campaign-c2d1f919c53f1f1c: tests/full_campaign.rs
+
+tests/full_campaign.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_trace-e5e35a8177800dfa.d: tests/golden_trace.rs
+
+/root/repo/target/debug/deps/golden_trace-e5e35a8177800dfa: tests/golden_trace.rs
+
+tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_stress-9968cbbbcba94ff8.d: tests/machine_stress.rs
+
+/root/repo/target/debug/deps/machine_stress-9968cbbbcba94ff8: tests/machine_stress.rs
+
+tests/machine_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_stress-dccddae536264772.d: tests/machine_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_stress-dccddae536264772.rmeta: tests/machine_stress.rs Cargo.toml
+
+tests/machine_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead_integration-1aace375e0c56159.d: tests/overhead_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead_integration-1aace375e0c56159.rmeta: tests/overhead_integration.rs Cargo.toml
+
+tests/overhead_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead_integration-3f95d0e150379f39.d: tests/overhead_integration.rs
+
+/root/repo/target/debug/deps/overhead_integration-3f95d0e150379f39: tests/overhead_integration.rs
+
+tests/overhead_integration.rs:

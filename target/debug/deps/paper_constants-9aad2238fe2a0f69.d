@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_constants-9aad2238fe2a0f69.d: tests/paper_constants.rs
+
+/root/repo/target/debug/deps/paper_constants-9aad2238fe2a0f69: tests/paper_constants.rs
+
+tests/paper_constants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_constants-b4ed8d431e0b0c60.d: tests/paper_constants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_constants-b4ed8d431e0b0c60.rmeta: tests/paper_constants.rs Cargo.toml
+
+tests/paper_constants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4953bb0a3fa42bb9.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4953bb0a3fa42bb9: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-711f02436e228f50.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-711f02436e228f50: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

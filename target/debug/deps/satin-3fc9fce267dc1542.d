@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/satin-3fc9fce267dc1542.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsatin-3fc9fce267dc1542.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsatin-3fc9fce267dc1542.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/satin-c88ae9d1d189b638.d: src/lib.rs
+
+/root/repo/target/debug/deps/satin-c88ae9d1d189b638: src/lib.rs
+
+src/lib.rs:

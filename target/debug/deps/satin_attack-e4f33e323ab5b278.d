@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/satin_attack-e4f33e323ab5b278.d: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+/root/repo/target/debug/deps/libsatin_attack-e4f33e323ab5b278.rlib: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+/root/repo/target/debug/deps/libsatin_attack-e4f33e323ab5b278.rmeta: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/channel.rs:
+crates/attack/src/evader.rs:
+crates/attack/src/kprober.rs:
+crates/attack/src/predictor.rs:
+crates/attack/src/prober.rs:
+crates/attack/src/race.rs:
+crates/attack/src/rootkit.rs:
+crates/attack/src/threshold.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/satin_hash-1ab75dc20acce0a8.d: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+/root/repo/target/debug/deps/satin_hash-1ab75dc20acce0a8: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/table.rs:

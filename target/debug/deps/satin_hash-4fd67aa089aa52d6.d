@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/satin_hash-4fd67aa089aa52d6.d: crates/hash/src/lib.rs crates/hash/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_hash-4fd67aa089aa52d6.rmeta: crates/hash/src/lib.rs crates/hash/src/table.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+crates/hash/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

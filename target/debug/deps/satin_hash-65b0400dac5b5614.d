@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/satin_hash-65b0400dac5b5614.d: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+/root/repo/target/debug/deps/libsatin_hash-65b0400dac5b5614.rlib: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+/root/repo/target/debug/deps/libsatin_hash-65b0400dac5b5614.rmeta: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/table.rs:

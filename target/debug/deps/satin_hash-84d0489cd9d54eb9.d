@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/satin_hash-84d0489cd9d54eb9.d: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+/root/repo/target/debug/deps/libsatin_hash-84d0489cd9d54eb9.rmeta: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/satin_hash-b60c144c8999abc9.d: crates/hash/src/lib.rs crates/hash/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_hash-b60c144c8999abc9.rmeta: crates/hash/src/lib.rs crates/hash/src/table.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+crates/hash/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

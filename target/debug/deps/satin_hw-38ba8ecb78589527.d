@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/satin_hw-38ba8ecb78589527.d: crates/hw/src/lib.rs crates/hw/src/error.rs crates/hw/src/gic.rs crates/hw/src/monitor.rs crates/hw/src/platform.rs crates/hw/src/timers.rs crates/hw/src/timing.rs crates/hw/src/topology.rs crates/hw/src/world.rs
+
+/root/repo/target/debug/deps/satin_hw-38ba8ecb78589527: crates/hw/src/lib.rs crates/hw/src/error.rs crates/hw/src/gic.rs crates/hw/src/monitor.rs crates/hw/src/platform.rs crates/hw/src/timers.rs crates/hw/src/timing.rs crates/hw/src/topology.rs crates/hw/src/world.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/error.rs:
+crates/hw/src/gic.rs:
+crates/hw/src/monitor.rs:
+crates/hw/src/platform.rs:
+crates/hw/src/timers.rs:
+crates/hw/src/timing.rs:
+crates/hw/src/topology.rs:
+crates/hw/src/world.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/satin_hw-d8808da4787500d3.d: crates/hw/src/lib.rs crates/hw/src/error.rs crates/hw/src/gic.rs crates/hw/src/monitor.rs crates/hw/src/platform.rs crates/hw/src/timers.rs crates/hw/src/timing.rs crates/hw/src/topology.rs crates/hw/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_hw-d8808da4787500d3.rmeta: crates/hw/src/lib.rs crates/hw/src/error.rs crates/hw/src/gic.rs crates/hw/src/monitor.rs crates/hw/src/platform.rs crates/hw/src/timers.rs crates/hw/src/timing.rs crates/hw/src/topology.rs crates/hw/src/world.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/error.rs:
+crates/hw/src/gic.rs:
+crates/hw/src/monitor.rs:
+crates/hw/src/platform.rs:
+crates/hw/src/timers.rs:
+crates/hw/src/timing.rs:
+crates/hw/src/topology.rs:
+crates/hw/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/satin_kernel-213498c45fec9ae5.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/runqueue.rs crates/kernel/src/scheduler.rs crates/kernel/src/syscall.rs crates/kernel/src/task.rs crates/kernel/src/tick.rs crates/kernel/src/vector.rs crates/kernel/src/weight.rs
+
+/root/repo/target/debug/deps/satin_kernel-213498c45fec9ae5: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/runqueue.rs crates/kernel/src/scheduler.rs crates/kernel/src/syscall.rs crates/kernel/src/task.rs crates/kernel/src/tick.rs crates/kernel/src/vector.rs crates/kernel/src/weight.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/runqueue.rs:
+crates/kernel/src/scheduler.rs:
+crates/kernel/src/syscall.rs:
+crates/kernel/src/task.rs:
+crates/kernel/src/tick.rs:
+crates/kernel/src/vector.rs:
+crates/kernel/src/weight.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/satin_kernel-8b52552efa89a666.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/runqueue.rs crates/kernel/src/scheduler.rs crates/kernel/src/syscall.rs crates/kernel/src/task.rs crates/kernel/src/tick.rs crates/kernel/src/vector.rs crates/kernel/src/weight.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_kernel-8b52552efa89a666.rmeta: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/runqueue.rs crates/kernel/src/scheduler.rs crates/kernel/src/syscall.rs crates/kernel/src/task.rs crates/kernel/src/tick.rs crates/kernel/src/vector.rs crates/kernel/src/weight.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/runqueue.rs:
+crates/kernel/src/scheduler.rs:
+crates/kernel/src/syscall.rs:
+crates/kernel/src/task.rs:
+crates/kernel/src/tick.rs:
+crates/kernel/src/vector.rs:
+crates/kernel/src/weight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

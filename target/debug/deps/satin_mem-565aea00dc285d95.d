@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/satin_mem-565aea00dc285d95.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/error.rs crates/mem/src/image.rs crates/mem/src/layout.rs crates/mem/src/perms.rs crates/mem/src/phys.rs crates/mem/src/scan.rs
+
+/root/repo/target/debug/deps/libsatin_mem-565aea00dc285d95.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/error.rs crates/mem/src/image.rs crates/mem/src/layout.rs crates/mem/src/perms.rs crates/mem/src/phys.rs crates/mem/src/scan.rs
+
+/root/repo/target/debug/deps/libsatin_mem-565aea00dc285d95.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/error.rs crates/mem/src/image.rs crates/mem/src/layout.rs crates/mem/src/perms.rs crates/mem/src/phys.rs crates/mem/src/scan.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/error.rs:
+crates/mem/src/image.rs:
+crates/mem/src/layout.rs:
+crates/mem/src/perms.rs:
+crates/mem/src/phys.rs:
+crates/mem/src/scan.rs:

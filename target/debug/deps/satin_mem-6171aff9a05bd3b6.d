@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/satin_mem-6171aff9a05bd3b6.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/error.rs crates/mem/src/image.rs crates/mem/src/layout.rs crates/mem/src/perms.rs crates/mem/src/phys.rs crates/mem/src/scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_mem-6171aff9a05bd3b6.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/error.rs crates/mem/src/image.rs crates/mem/src/layout.rs crates/mem/src/perms.rs crates/mem/src/phys.rs crates/mem/src/scan.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/error.rs:
+crates/mem/src/image.rs:
+crates/mem/src/layout.rs:
+crates/mem/src/perms.rs:
+crates/mem/src/phys.rs:
+crates/mem/src/scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/satin_mem-bb553b70bc1db0d8.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/error.rs crates/mem/src/image.rs crates/mem/src/layout.rs crates/mem/src/perms.rs crates/mem/src/phys.rs crates/mem/src/scan.rs
+
+/root/repo/target/debug/deps/satin_mem-bb553b70bc1db0d8: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/error.rs crates/mem/src/image.rs crates/mem/src/layout.rs crates/mem/src/perms.rs crates/mem/src/phys.rs crates/mem/src/scan.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/error.rs:
+crates/mem/src/image.rs:
+crates/mem/src/layout.rs:
+crates/mem/src/perms.rs:
+crates/mem/src/phys.rs:
+crates/mem/src/scan.rs:

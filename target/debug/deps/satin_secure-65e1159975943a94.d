@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/satin_secure-65e1159975943a94.d: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs
+
+/root/repo/target/debug/deps/libsatin_secure-65e1159975943a94.rlib: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs
+
+/root/repo/target/debug/deps/libsatin_secure-65e1159975943a94.rmeta: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs
+
+crates/secure/src/lib.rs:
+crates/secure/src/measurement.rs:
+crates/secure/src/scanner.rs:
+crates/secure/src/storage.rs:
+crates/secure/src/tsp.rs:

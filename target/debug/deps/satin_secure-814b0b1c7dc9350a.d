@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/satin_secure-814b0b1c7dc9350a.d: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_secure-814b0b1c7dc9350a.rmeta: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs Cargo.toml
+
+crates/secure/src/lib.rs:
+crates/secure/src/measurement.rs:
+crates/secure/src/scanner.rs:
+crates/secure/src/storage.rs:
+crates/secure/src/tsp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

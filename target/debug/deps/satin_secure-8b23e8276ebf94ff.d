@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satin_secure-8b23e8276ebf94ff.d: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs
+
+/root/repo/target/debug/deps/satin_secure-8b23e8276ebf94ff: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs
+
+crates/secure/src/lib.rs:
+crates/secure/src/measurement.rs:
+crates/secure/src/scanner.rs:
+crates/secure/src/storage.rs:
+crates/secure/src/tsp.rs:

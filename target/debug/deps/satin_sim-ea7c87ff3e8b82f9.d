@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/satin_sim-ea7c87ff3e8b82f9.d: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observe.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libsatin_sim-ea7c87ff3e8b82f9.rmeta: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observe.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/observe.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/satin_stats-3607702d1101a970.d: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/satin_stats-3607702d1101a970: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/boxplot.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/satin_stats-3660d3713ca7c209.d: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libsatin_stats-3660d3713ca7c209.rlib: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libsatin_stats-3660d3713ca7c209.rmeta: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/boxplot.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

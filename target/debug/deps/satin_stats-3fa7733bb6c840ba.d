@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/satin_stats-3fa7733bb6c840ba.d: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_stats-3fa7733bb6c840ba.rmeta: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/boxplot.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

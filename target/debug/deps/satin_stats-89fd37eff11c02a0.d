@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/satin_stats-89fd37eff11c02a0.d: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libsatin_stats-89fd37eff11c02a0.rmeta: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/boxplot.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/satin_system-acca4fd7f546e355.d: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs
+
+/root/repo/target/debug/deps/libsatin_system-acca4fd7f546e355.rlib: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs
+
+/root/repo/target/debug/deps/libsatin_system-acca4fd7f546e355.rmeta: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs
+
+crates/system/src/lib.rs:
+crates/system/src/body.rs:
+crates/system/src/builder.rs:
+crates/system/src/event.rs:
+crates/system/src/machine/mod.rs:
+crates/system/src/machine/cores.rs:
+crates/system/src/machine/dispatch.rs:
+crates/system/src/machine/normal_path.rs:
+crates/system/src/machine/secure_path.rs:
+crates/system/src/metrics.rs:
+crates/system/src/service.rs:
+crates/system/src/stats.rs:
+crates/system/src/timebuf.rs:

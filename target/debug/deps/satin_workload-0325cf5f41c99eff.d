@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/satin_workload-0325cf5f41c99eff.d: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+/root/repo/target/debug/deps/satin_workload-0325cf5f41c99eff: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/report.rs:
+crates/workload/src/runner.rs:
+crates/workload/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/satin_workload-4a0986a6f6b74264.d: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+/root/repo/target/debug/deps/libsatin_workload-4a0986a6f6b74264.rmeta: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/report.rs:
+crates/workload/src/runner.rs:
+crates/workload/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_invariants-5851aa431655f43e.d: tests/security_invariants.rs
+
+/root/repo/target/debug/deps/security_invariants-5851aa431655f43e: tests/security_invariants.rs
+
+tests/security_invariants.rs:

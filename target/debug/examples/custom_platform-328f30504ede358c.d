@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_platform-328f30504ede358c.d: examples/custom_platform.rs
+
+/root/repo/target/debug/examples/custom_platform-328f30504ede358c: examples/custom_platform.rs
+
+examples/custom_platform.rs:

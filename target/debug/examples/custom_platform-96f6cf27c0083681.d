@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_platform-96f6cf27c0083681.d: examples/custom_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_platform-96f6cf27c0083681.rmeta: examples/custom_platform.rs Cargo.toml
+
+examples/custom_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

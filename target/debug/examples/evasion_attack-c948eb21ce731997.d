@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evasion_attack-c948eb21ce731997.d: examples/evasion_attack.rs
+
+/root/repo/target/debug/examples/evasion_attack-c948eb21ce731997: examples/evasion_attack.rs
+
+examples/evasion_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overhead_study-2544f7c0ceef7418.d: examples/overhead_study.rs
+
+/root/repo/target/debug/examples/overhead_study-2544f7c0ceef7418: examples/overhead_study.rs
+
+examples/overhead_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e2c40dcbed729bb8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e2c40dcbed729bb8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/satin_defense-bb10fe7eeecaf1cf.d: examples/satin_defense.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsatin_defense-bb10fe7eeecaf1cf.rmeta: examples/satin_defense.rs Cargo.toml
+
+examples/satin_defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

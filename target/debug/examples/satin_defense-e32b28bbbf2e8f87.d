@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/satin_defense-e32b28bbbf2e8f87.d: examples/satin_defense.rs
+
+/root/repo/target/debug/examples/satin_defense-e32b28bbbf2e8f87: examples/satin_defense.rs
+
+examples/satin_defense.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["satin_hw",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.usize.html\">usize</a>&gt; for <a class=\"struct\" href=\"satin_hw/topology/struct.CoreId.html\" title=\"struct satin_hw::topology::CoreId\">CoreId</a>",0]]],["satin_sim",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;&amp;'static <a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.str.html\">str</a>&gt; for <a class=\"enum\" href=\"satin_sim/trace/enum.TraceCategory.html\" title=\"enum satin_sim::trace::TraceCategory\">TraceCategory</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[392,414]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["satin_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"satin_core/error/enum.SatinError.html\" title=\"enum satin_core::error::SatinError\">SatinError</a>",0]]],["satin_hw",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"satin_hw/error/enum.HwError.html\" title=\"enum satin_hw::error::HwError\">HwError</a>",0]]],["satin_mem",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"satin_mem/error/enum.MemError.html\" title=\"enum satin_mem::error::MemError\">MemError</a>",0]]],["satin_sim",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"satin_sim/error/enum.SimError.html\" title=\"enum satin_sim::error::SimError\">SimError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[290,276,282,282]}

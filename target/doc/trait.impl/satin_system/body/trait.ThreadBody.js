@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["satin",[]],["satin_attack",[["impl ThreadBody for <a class=\"struct\" href=\"satin_attack/prober/struct.ReporterComparerBody.html\" title=\"struct satin_attack::prober::ReporterComparerBody\">ReporterComparerBody</a>",0],["impl ThreadBody for <a class=\"struct\" href=\"satin_attack/prober/struct.ReporterOnlyBody.html\" title=\"struct satin_attack::prober::ReporterOnlyBody\">ReporterOnlyBody</a>",0],["impl ThreadBody for <a class=\"struct\" href=\"satin_attack/rootkit/struct.RootkitBody.html\" title=\"struct satin_attack::rootkit::RootkitBody\">RootkitBody</a>",0]]],["satin_system",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[12,561,20]}

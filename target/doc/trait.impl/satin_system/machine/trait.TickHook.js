@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["satin_attack",[["impl TickHook for <a class=\"struct\" href=\"satin_attack/kprober/struct.KProberIHook.html\" title=\"struct satin_attack::kprober::KProberIHook\">KProberIHook</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[187]}

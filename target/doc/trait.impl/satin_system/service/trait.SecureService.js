@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["satin_core",[["impl SecureService for <a class=\"struct\" href=\"satin_core/baseline/struct.NaiveIntrospection.html\" title=\"struct satin_core::baseline::NaiveIntrospection\">NaiveIntrospection</a>",0],["impl SecureService for <a class=\"struct\" href=\"satin_core/satin/struct.Satin.html\" title=\"struct satin_core::satin::Satin\">Satin</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[351]}

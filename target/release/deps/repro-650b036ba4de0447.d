@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-650b036ba4de0447.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-650b036ba4de0447: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-9ae4136bc920efed.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-9ae4136bc920efed: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/satin-ca1674d8a61e99d6.d: src/lib.rs
+
+/root/repo/target/release/deps/libsatin-ca1674d8a61e99d6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsatin-ca1674d8a61e99d6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/satin_attack-28b503665afa0d1b.d: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+/root/repo/target/release/deps/libsatin_attack-28b503665afa0d1b.rlib: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+/root/repo/target/release/deps/libsatin_attack-28b503665afa0d1b.rmeta: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/channel.rs:
+crates/attack/src/evader.rs:
+crates/attack/src/kprober.rs:
+crates/attack/src/predictor.rs:
+crates/attack/src/prober.rs:
+crates/attack/src/race.rs:
+crates/attack/src/rootkit.rs:
+crates/attack/src/threshold.rs:

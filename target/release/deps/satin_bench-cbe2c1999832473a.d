@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/satin_bench-cbe2c1999832473a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/detection.rs crates/bench/src/fig7.rs crates/bench/src/race.rs crates/bench/src/recover.rs crates/bench/src/runner.rs crates/bench/src/switch.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/threshold_sweep.rs crates/bench/src/userprober.rs
+
+/root/repo/target/release/deps/libsatin_bench-cbe2c1999832473a.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/detection.rs crates/bench/src/fig7.rs crates/bench/src/race.rs crates/bench/src/recover.rs crates/bench/src/runner.rs crates/bench/src/switch.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/threshold_sweep.rs crates/bench/src/userprober.rs
+
+/root/repo/target/release/deps/libsatin_bench-cbe2c1999832473a.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/detection.rs crates/bench/src/fig7.rs crates/bench/src/race.rs crates/bench/src/recover.rs crates/bench/src/runner.rs crates/bench/src/switch.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/threshold_sweep.rs crates/bench/src/userprober.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/detection.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/race.rs:
+crates/bench/src/recover.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/switch.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/threshold_sweep.rs:
+crates/bench/src/userprober.rs:

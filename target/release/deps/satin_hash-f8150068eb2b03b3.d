@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/satin_hash-f8150068eb2b03b3.d: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+/root/repo/target/release/deps/libsatin_hash-f8150068eb2b03b3.rlib: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+/root/repo/target/release/deps/libsatin_hash-f8150068eb2b03b3.rmeta: crates/hash/src/lib.rs crates/hash/src/table.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/satin_hw-636d9810c6a34d02.d: crates/hw/src/lib.rs crates/hw/src/error.rs crates/hw/src/gic.rs crates/hw/src/monitor.rs crates/hw/src/platform.rs crates/hw/src/timers.rs crates/hw/src/timing.rs crates/hw/src/topology.rs crates/hw/src/world.rs
+
+/root/repo/target/release/deps/libsatin_hw-636d9810c6a34d02.rlib: crates/hw/src/lib.rs crates/hw/src/error.rs crates/hw/src/gic.rs crates/hw/src/monitor.rs crates/hw/src/platform.rs crates/hw/src/timers.rs crates/hw/src/timing.rs crates/hw/src/topology.rs crates/hw/src/world.rs
+
+/root/repo/target/release/deps/libsatin_hw-636d9810c6a34d02.rmeta: crates/hw/src/lib.rs crates/hw/src/error.rs crates/hw/src/gic.rs crates/hw/src/monitor.rs crates/hw/src/platform.rs crates/hw/src/timers.rs crates/hw/src/timing.rs crates/hw/src/topology.rs crates/hw/src/world.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/error.rs:
+crates/hw/src/gic.rs:
+crates/hw/src/monitor.rs:
+crates/hw/src/platform.rs:
+crates/hw/src/timers.rs:
+crates/hw/src/timing.rs:
+crates/hw/src/topology.rs:
+crates/hw/src/world.rs:

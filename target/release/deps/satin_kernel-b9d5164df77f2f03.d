@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/satin_kernel-b9d5164df77f2f03.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/runqueue.rs crates/kernel/src/scheduler.rs crates/kernel/src/syscall.rs crates/kernel/src/task.rs crates/kernel/src/tick.rs crates/kernel/src/vector.rs crates/kernel/src/weight.rs
+
+/root/repo/target/release/deps/libsatin_kernel-b9d5164df77f2f03.rlib: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/runqueue.rs crates/kernel/src/scheduler.rs crates/kernel/src/syscall.rs crates/kernel/src/task.rs crates/kernel/src/tick.rs crates/kernel/src/vector.rs crates/kernel/src/weight.rs
+
+/root/repo/target/release/deps/libsatin_kernel-b9d5164df77f2f03.rmeta: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/runqueue.rs crates/kernel/src/scheduler.rs crates/kernel/src/syscall.rs crates/kernel/src/task.rs crates/kernel/src/tick.rs crates/kernel/src/vector.rs crates/kernel/src/weight.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/runqueue.rs:
+crates/kernel/src/scheduler.rs:
+crates/kernel/src/syscall.rs:
+crates/kernel/src/task.rs:
+crates/kernel/src/tick.rs:
+crates/kernel/src/vector.rs:
+crates/kernel/src/weight.rs:

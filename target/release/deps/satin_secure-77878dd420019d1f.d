@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/satin_secure-77878dd420019d1f.d: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs
+
+/root/repo/target/release/deps/libsatin_secure-77878dd420019d1f.rlib: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs
+
+/root/repo/target/release/deps/libsatin_secure-77878dd420019d1f.rmeta: crates/secure/src/lib.rs crates/secure/src/measurement.rs crates/secure/src/scanner.rs crates/secure/src/storage.rs crates/secure/src/tsp.rs
+
+crates/secure/src/lib.rs:
+crates/secure/src/measurement.rs:
+crates/secure/src/scanner.rs:
+crates/secure/src/storage.rs:
+crates/secure/src/tsp.rs:

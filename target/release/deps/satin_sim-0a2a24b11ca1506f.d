@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/satin_sim-0a2a24b11ca1506f.d: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observe.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libsatin_sim-0a2a24b11ca1506f.rlib: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observe.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libsatin_sim-0a2a24b11ca1506f.rmeta: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/observe.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/observe.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

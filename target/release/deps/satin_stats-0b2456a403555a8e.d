@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/satin_stats-0b2456a403555a8e.d: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libsatin_stats-0b2456a403555a8e.rlib: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libsatin_stats-0b2456a403555a8e.rmeta: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/chart.rs crates/stats/src/hist.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/boxplot.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

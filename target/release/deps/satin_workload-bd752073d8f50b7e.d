@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/satin_workload-bd752073d8f50b7e.d: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+/root/repo/target/release/deps/libsatin_workload-bd752073d8f50b7e.rlib: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+/root/repo/target/release/deps/libsatin_workload-bd752073d8f50b7e.rmeta: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/report.rs:
+crates/workload/src/runner.rs:
+crates/workload/src/suite.rs:

@@ -17,8 +17,7 @@ fn evasion_beats_randomized_baseline() {
 
     assert!(defense.rounds() >= 5, "{} rounds", defense.rounds());
     assert_eq!(defense.tampered_rounds(), 0, "baseline caught the evader");
-    let uptime =
-        evader.rootkit.active_time(sys.now()).as_secs_f64() / sys.now().as_secs_f64();
+    let uptime = evader.rootkit.active_time(sys.now()).as_secs_f64() / sys.now().as_secs_f64();
     assert!(uptime > 0.5, "attack uptime {uptime}");
 }
 

@@ -83,8 +83,5 @@ fn kprober_parameters() {
     // §IV-A1: Tsleep = 2e-4 s; threshold learned at 1.8e-3 (§VI-B1).
     let cfg = satin::attack::prober::ProberConfig::paper_kprober();
     assert_eq!(cfg.sleep, SimDuration::from_micros(200));
-    assert_eq!(
-        cfg.threshold,
-        Some(SimDuration::from_secs_f64(1.8e-3))
-    );
+    assert_eq!(cfg.threshold, Some(SimDuration::from_secs_f64(1.8e-3)));
 }
