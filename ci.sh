@@ -17,4 +17,26 @@ cargo clippy -q --workspace --all-targets -- -D warnings
 echo "== rustfmt =="
 cargo fmt --check
 
+echo "== telemetry smoke =="
+# The exported artifacts must be valid JSON, and the traced race must match
+# the blessed span-count snapshot (same seed, same quick-mode horizon).
+./target/release/repro --seed 42 --trace-out /tmp/satin_trace.json \
+    --metrics-json /tmp/satin_metrics.json > /dev/null
+python3 - <<'EOF'
+import json
+trace = json.load(open("/tmp/satin_trace.json"))
+metrics = json.load(open("/tmp/satin_metrics.json"))
+sessions = sum(1 for e in trace["traceEvents"] if e.get("name") == "secure.session")
+snap = dict(
+    line.split(" ", 1)
+    for line in open("crates/bench/tests/golden/telemetry_seed_42.snap")
+    if not line.startswith("#")
+)
+want = int(snap["span.secure.session"])
+assert sessions == want, f"trace has {sessions} sessions, snapshot says {want}"
+assert metrics["campaigns"] == 3 and metrics["publications"] > 0, metrics
+print(f"telemetry OK: {sessions} sessions traced, "
+      f"{metrics['publications']} publications aggregated")
+EOF
+
 echo "CI OK"

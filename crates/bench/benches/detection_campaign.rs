@@ -15,6 +15,7 @@ fn bench(c: &mut Criterion) {
                 tgoal: SimDuration::from_millis(9_500),
                 seed: 3,
                 trace: false,
+                telemetry: false,
             })
         })
     });

@@ -1,16 +1,24 @@
 //! Regenerates every table and figure of the SATIN paper (DSN 2019).
 //!
 //! ```text
-//! repro [--full] [--seed N] [--jobs N] [--metrics] [experiment ...]
+//! repro [--full] [--seed N] [--jobs N] [--metrics]
+//!       [--trace-out FILE] [--metrics-json FILE] [experiment ...]
 //! ```
 //!
 //! Experiments: `table1 switch recover table2 fig4 affinity race detection
-//! fig7 baseline areasweep all` (default: `all`). `--full` runs paper-scale
-//! round counts (slow: several minutes of simulation); the default is a
-//! quick mode that preserves every shape. `--jobs N` fans independent
-//! campaigns across N worker threads (0 = one per hardware thread); every
-//! aggregate is identical for any job count. `--metrics` additionally
-//! prints the machine's per-subsystem counters and trace-log health.
+//! fig7 baseline areasweep telemetry all` (default: `all`). `--full` runs
+//! paper-scale round counts (slow: several minutes of simulation); the
+//! default is a quick mode that preserves every shape. `--jobs N` fans
+//! independent campaigns across N worker threads (0 = one per hardware
+//! thread); every aggregate is identical for any job count. `--metrics`
+//! additionally prints the machine's per-subsystem counters and trace-log
+//! health.
+//!
+//! `--trace-out FILE` writes one fully-instrumented SATIN-vs-TZ-Evader race
+//! as Chrome `trace_event` JSON (open at `ui.perfetto.dev`);
+//! `--metrics-json FILE` writes the merged campaign telemetry (histograms,
+//! span counts) as deterministic JSON — byte-identical for any `--jobs`.
+//! Either flag implies the `telemetry` experiment when none are listed.
 
 use satin_bench::{
     ablation, detection, fig7, race, recover, switch, table1, table2, threshold_sweep, userprober,
@@ -26,6 +34,8 @@ struct Opts {
     seed: u64,
     jobs: usize,
     metrics: bool,
+    trace_out: Option<String>,
+    metrics_json: Option<String>,
     experiments: Vec<String>,
 }
 
@@ -40,6 +50,8 @@ fn parse_args() -> Opts {
     let mut seed = DEFAULT_SEED;
     let mut jobs = 1;
     let mut metrics = false;
+    let mut trace_out = None;
+    let mut metrics_json = None;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -58,13 +70,26 @@ fn parse_args() -> Opts {
                     .unwrap_or_else(|| die("--jobs needs a number (0 = all hardware threads)"));
             }
             "--metrics" => metrics = true,
+            "--trace-out" => {
+                trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--trace-out needs a file path")),
+                );
+            }
+            "--metrics-json" => {
+                metrics_json = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--metrics-json needs a file path")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--seed N] [--jobs N] [--metrics] \
+                     [--trace-out FILE] [--metrics-json FILE] \
                      [table1 switch recover table2 fig4 \
                      affinity race detection fig7 baseline areasweep userprober \
                      preemption portability threshold predictor remediation \
-                     kprobertrace all]"
+                     kprobertrace telemetry all]"
                 );
                 std::process::exit(0);
             }
@@ -73,13 +98,21 @@ fn parse_args() -> Opts {
         }
     }
     if experiments.is_empty() {
-        experiments.push("all".to_string());
+        // Bare --trace-out/--metrics-json means "give me the telemetry
+        // artifacts", not "run everything".
+        if trace_out.is_some() || metrics_json.is_some() {
+            experiments.push("telemetry".to_string());
+        } else {
+            experiments.push("all".to_string());
+        }
     }
     Opts {
         full,
         seed,
         jobs,
         metrics,
+        trace_out,
+        metrics_json,
         experiments,
     }
 }
@@ -153,6 +186,48 @@ fn main() {
     if want("kprobertrace") {
         run_kprober_trace(&opts);
     }
+    if want("telemetry") {
+        run_telemetry(&opts);
+    }
+}
+
+fn run_telemetry(o: &Opts) {
+    use satin_bench::telemetry_report::{run_traced_race, TelemetryReport};
+    println!("== Telemetry: span timelines and campaign histograms ==");
+    let horizon = SimDuration::from_secs(if o.full { 30 } else { 8 });
+    let race = run_traced_race(o.seed, horizon);
+    println!(
+        "traced race: seed {}, {:.0} s horizon, {} spans / {} instants, {} publications",
+        o.seed,
+        horizon.as_secs_f64(),
+        race.timeline.len(),
+        race.timeline.instants().len(),
+        race.metrics.publications
+    );
+    if let Some(path) = &o.trace_out {
+        std::fs::write(path, race.chrome_trace())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote Chrome trace_event JSON to {path} (open at ui.perfetto.dev)");
+    }
+    // Campaign aggregates: a small fleet through the shared runner, so the
+    // merged report — and its JSON — is byte-identical for any --jobs.
+    let mut base = if o.full {
+        detection::DetectionConfig::paper(o.seed)
+    } else {
+        detection::DetectionConfig::quick(o.seed)
+    };
+    base.telemetry = true;
+    let seeds: Vec<u64> = (0..3).map(|i| o.seed.wrapping_add(i)).collect();
+    let results = detection::run_many(base, &seeds, &o.runner());
+    let reports: Vec<MetricsReport> = results.iter().map(|r| r.metrics.clone()).collect();
+    let report = TelemetryReport::of(&reports);
+    print!("{report}");
+    if let Some(path) = &o.metrics_json {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote merged telemetry JSON to {path}");
+    }
+    println!();
 }
 
 fn run_kprober_trace(o: &Opts) {

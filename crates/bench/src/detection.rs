@@ -38,6 +38,10 @@ pub struct DetectionConfig {
     /// counters, and the trace ring costs memory on long runs). Turn on to
     /// make the [`MetricsReport`] trace-health fields meaningful.
     pub trace: bool,
+    /// Record telemetry spans (off by default, same cost reasoning as
+    /// `trace`). Turn on to make the [`MetricsReport`] span counts
+    /// meaningful.
+    pub telemetry: bool,
 }
 
 impl DetectionConfig {
@@ -48,6 +52,7 @@ impl DetectionConfig {
             tgoal: SimDuration::from_secs(152),
             seed,
             trace: false,
+            telemetry: false,
         }
     }
 
@@ -58,6 +63,7 @@ impl DetectionConfig {
             tgoal: SimDuration::from_secs(19),
             seed,
             trace: false,
+            telemetry: false,
         }
     }
 }
@@ -113,6 +119,7 @@ pub fn run(config: DetectionConfig) -> DetectionResult {
     let mut sys = SystemBuilder::new()
         .seed(config.seed)
         .trace(config.trace)
+        .telemetry(config.telemetry)
         .build();
     let (satin, handle) = Satin::new(satin_cfg);
     sys.install_secure_service(satin);
@@ -305,6 +312,7 @@ mod tests {
             tgoal: SimDuration::from_millis(9_500),
             seed: 0,
             trace: false,
+            telemetry: false,
         };
         let seeds = [5u64, 6];
         let serial = run_many(base, &seeds, &CampaignRunner::serial());

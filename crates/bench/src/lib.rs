@@ -21,6 +21,8 @@
 //! seeded campaigns across threads (results in input order, so aggregates
 //! don't depend on the job count), and a [`MetricsReport`] snapshots a
 //! finished system's per-subsystem counters and trace health.
+//! [`telemetry_report`] turns those snapshots into the `--metrics-json`
+//! aggregate and runs the fully-traced race behind `--trace-out`.
 
 pub mod ablation;
 pub mod detection;
@@ -31,10 +33,12 @@ pub mod runner;
 pub mod switch;
 pub mod table1;
 pub mod table2;
+pub mod telemetry_report;
 pub mod threshold_sweep;
 pub mod userprober;
 
 pub use runner::{CampaignRunner, MetricsReport};
+pub use telemetry_report::{run_traced_race, TelemetryReport, TracedRace};
 
 /// Default master seed for all experiments (override per run for variance
 /// studies).

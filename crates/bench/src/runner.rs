@@ -9,6 +9,8 @@
 //! computed over them are identical for `--jobs 1` and `--jobs N`.
 
 use satin_system::System;
+use satin_telemetry::DurationHistogram;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -135,6 +137,21 @@ pub struct MetricsReport {
     pub alarms_traced: u64,
     /// Simulation events dispatched.
     pub events_dispatched: u64,
+    /// Integrity alarms the secure service raised
+    /// ([`satin_system::SysStats::alarms`] — counted even when tracing is
+    /// off).
+    pub alarms: u64,
+    /// Distribution of publication delays (secure-timer fire to
+    /// normal-world resume).
+    pub publication_delay_hist: DurationHistogram,
+    /// Distribution of hash-window lengths across completed scans.
+    pub hash_window_hist: DurationHistogram,
+    /// Distribution of detection latencies (fire to publication, for rounds
+    /// that raised an alarm).
+    pub detection_latency_hist: DurationHistogram,
+    /// Telemetry span counts by name (empty unless the system was built
+    /// with telemetry on).
+    pub span_counts: BTreeMap<String, u64>,
 }
 
 impl MetricsReport {
@@ -159,6 +176,16 @@ impl MetricsReport {
             trace_dropped: sys.trace().dropped(),
             alarms_traced: sys.trace().by_category("satin.alarm").count() as u64,
             events_dispatched: sys.events_dispatched(),
+            alarms: sys.stats().alarms,
+            publication_delay_hist: m.publication_delay_hist.clone(),
+            hash_window_hist: m.hash_window_hist.clone(),
+            detection_latency_hist: m.detection_latency_hist.clone(),
+            span_counts: sys
+                .telemetry()
+                .span_counts()
+                .into_iter()
+                .map(|(name, n)| (name.to_string(), n))
+                .collect(),
         }
     }
 
@@ -197,6 +224,13 @@ impl MetricsReport {
             out.trace_dropped += r.trace_dropped;
             out.alarms_traced += r.alarms_traced;
             out.events_dispatched += r.events_dispatched;
+            out.alarms += r.alarms;
+            out.publication_delay_hist.merge(&r.publication_delay_hist);
+            out.hash_window_hist.merge(&r.hash_window_hist);
+            out.detection_latency_hist.merge(&r.detection_latency_hist);
+            for (name, n) in &r.span_counts {
+                *out.span_counts.entry(name.clone()).or_insert(0) += n;
+            }
         }
         out
     }
@@ -227,9 +261,23 @@ impl fmt::Display for MetricsReport {
         writeln!(f)?;
         writeln!(
             f,
-            "events dispatched: {}   trace: {} retained, {} dropped, {} alarms",
-            self.events_dispatched, self.trace_retained, self.trace_dropped, self.alarms_traced
-        )
+            "events dispatched: {}   trace: {} retained, {} dropped, {} alarms ({} raised)",
+            self.events_dispatched,
+            self.trace_retained,
+            self.trace_dropped,
+            self.alarms_traced,
+            self.alarms
+        )?;
+        if !self.publication_delay_hist.is_empty() {
+            writeln!(f, "publication delay: {}", self.publication_delay_hist)?;
+        }
+        if !self.hash_window_hist.is_empty() {
+            writeln!(f, "hash window:       {}", self.hash_window_hist)?;
+        }
+        if !self.detection_latency_hist.is_empty() {
+            writeln!(f, "detection latency: {}", self.detection_latency_hist)?;
+        }
+        Ok(())
     }
 }
 

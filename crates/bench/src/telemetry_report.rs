@@ -1,0 +1,274 @@
+//! The per-experiment telemetry section: merged histogram/span aggregates
+//! (deterministic for any `--jobs`) and the single fully-traced race behind
+//! `repro --trace-out`.
+//!
+//! Two artifacts come out of here:
+//!
+//! - [`TelemetryReport`]: campaign-level aggregates built by merging
+//!   [`MetricsReport`]s in input order. Every field is a counter, a
+//!   fixed-shape histogram, or a name-sorted map, so
+//!   [`TelemetryReport::to_json`] is byte-identical for any worker count —
+//!   the `--metrics-json` guarantee.
+//! - [`TracedRace`]: one instrumented SATIN-vs-TZ-Evader run with the full
+//!   span [`Timeline`] and [`TraceLog`], exportable as Chrome `trace_event`
+//!   JSON via [`satin_telemetry::chrome_trace`] — the `--trace-out` file.
+
+use crate::runner::MetricsReport;
+use satin_attack::{TzEvader, TzEvaderConfig};
+use satin_core::{Satin, SatinConfig};
+use satin_sim::{SimDuration, SimTime, TraceLog};
+use satin_stats::hist::render_count_rows;
+use satin_system::SystemBuilder;
+use satin_telemetry::{DurationHistogram, Timeline};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Merged telemetry aggregates over a batch of campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Campaigns merged into this report.
+    pub campaigns: usize,
+    /// Scan results published to the normal world, summed.
+    pub publications: u64,
+    /// Integrity alarms raised by the secure service, summed.
+    pub alarms: u64,
+    /// Simulation events dispatched, summed.
+    pub events_dispatched: u64,
+    /// The merged counters and distributions.
+    pub metrics: MetricsReport,
+}
+
+impl TelemetryReport {
+    /// Merges per-campaign reports (order-independent: histograms add
+    /// bucket-wise, span counts add name-wise).
+    pub fn of(reports: &[MetricsReport]) -> Self {
+        let merged = MetricsReport::merged(reports);
+        TelemetryReport {
+            campaigns: reports.len(),
+            publications: merged.publications,
+            alarms: merged.alarms,
+            events_dispatched: merged.events_dispatched,
+            metrics: merged,
+        }
+    }
+
+    /// Renders the report as a deterministic JSON document: fixed key
+    /// order, integer nanoseconds, histograms as `[bucket, count]` pairs.
+    /// Byte-identical for any `--jobs` count over the same campaigns.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"campaigns\": {},", self.campaigns);
+        let _ = writeln!(out, "  \"publications\": {},", self.publications);
+        let _ = writeln!(out, "  \"alarms\": {},", self.alarms);
+        let _ = writeln!(out, "  \"events_dispatched\": {},", self.events_dispatched);
+        let _ = writeln!(
+            out,
+            "  \"scans_completed\": {},",
+            self.metrics.scans_completed
+        );
+        let _ = writeln!(out, "  \"scans_torn\": {},", self.metrics.scans_torn);
+        let _ = writeln!(
+            out,
+            "  \"world_switches\": {},",
+            self.metrics.world_switches
+        );
+        out.push_str("  \"histograms\": {\n");
+        for (i, (name, h)) in self.histograms().iter().enumerate() {
+            let _ = write!(out, "    \"{name}\": {}", hist_json(h));
+            out.push_str(if i + 1 < self.histograms().len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"span_counts\": {");
+        let spans: Vec<String> = self
+            .metrics
+            .span_counts
+            .iter()
+            .map(|(name, n)| format!("\"{name}\": {n}"))
+            .collect();
+        out.push_str(&spans.join(", "));
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// The report's named histograms, in fixed order.
+    pub fn histograms(&self) -> Vec<(&'static str, &DurationHistogram)> {
+        vec![
+            ("publication_delay_ns", &self.metrics.publication_delay_hist),
+            ("hash_window_ns", &self.metrics.hash_window_hist),
+            ("detection_latency_ns", &self.metrics.detection_latency_hist),
+        ]
+    }
+}
+
+fn hist_json(h: &DurationHistogram) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .map(|(idx, _, _, count)| format!("[{idx}, {count}]"))
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+        h.count(),
+        h.sum_nanos(),
+        h.min().map(|d| d.as_nanos()).unwrap_or(0),
+        h.max().map(|d| d.as_nanos()).unwrap_or(0),
+        buckets.join(", ")
+    )
+}
+
+/// Labelled count rows for one histogram (bucket ranges as durations),
+/// ready for [`render_count_rows`].
+fn bucket_rows(h: &DurationHistogram) -> Vec<(String, u64)> {
+    h.nonzero_buckets()
+        .map(|(_, lo, hi, count)| {
+            (
+                format!(
+                    "[{}, {})",
+                    SimDuration::from_nanos(lo),
+                    SimDuration::from_nanos(hi)
+                ),
+                count,
+            )
+        })
+        .collect()
+}
+
+impl fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} campaign(s): {} publications, {} alarms, {} events dispatched",
+            self.campaigns, self.publications, self.alarms, self.events_dispatched
+        )?;
+        for (name, h) in self.histograms() {
+            if h.is_empty() {
+                continue;
+            }
+            writeln!(f, "{name}: {h}")?;
+            write!(f, "{}", render_count_rows(&bucket_rows(h), 40))?;
+        }
+        if !self.metrics.span_counts.is_empty() {
+            let rows: Vec<(String, u64)> = self
+                .metrics
+                .span_counts
+                .iter()
+                .map(|(n, c)| (n.clone(), *c))
+                .collect();
+            writeln!(f, "spans:")?;
+            write!(f, "{}", render_count_rows(&rows, 40))?;
+        }
+        Ok(())
+    }
+}
+
+/// One fully-instrumented introspection race: SATIN (tp = 1 s) vs the
+/// TZ-Evader, with telemetry spans and the trace log both recorded.
+pub struct TracedRace {
+    /// The recorded span timeline (one `secure.session` tree per round).
+    pub timeline: Timeline,
+    /// The machine trace (attack/secure/satin events).
+    pub trace: TraceLog,
+    /// End-of-run counters and distributions.
+    pub metrics: MetricsReport,
+    /// Simulated horizon the race ran for.
+    pub horizon: SimDuration,
+}
+
+impl TracedRace {
+    /// The race as Chrome `trace_event` JSON (open in Perfetto or
+    /// `chrome://tracing`): per-core session span trees plus attack/defense
+    /// trace events on their own lanes.
+    pub fn chrome_trace(&self) -> String {
+        satin_telemetry::chrome_trace(&self.timeline, Some(&self.trace))
+    }
+
+    /// The race's spans and instants as line-delimited JSON.
+    pub fn jsonl(&self) -> String {
+        satin_telemetry::jsonl_events(&self.timeline)
+    }
+}
+
+/// Runs one instrumented SATIN-vs-TZ-Evader race for `horizon` of simulated
+/// time. Pure function of `seed` — and telemetry is pure observation — so
+/// the exported trace is byte-identical across runs and job counts.
+pub fn run_traced_race(seed: u64, horizon: SimDuration) -> TracedRace {
+    let mut cfg = SatinConfig::paper();
+    cfg.tgoal = SimDuration::from_secs(19); // tp = 1 s over 19 areas
+    let mut sys = SystemBuilder::new()
+        .seed(seed)
+        .trace(true)
+        .telemetry(true)
+        .build();
+    let (satin, _handle) = Satin::new(cfg);
+    sys.install_secure_service(satin);
+    let _evader = TzEvader::deploy(&mut sys, TzEvaderConfig::paper_default());
+    sys.run_until(SimTime::ZERO + horizon);
+    let metrics = MetricsReport::capture(&sys);
+    TracedRace {
+        timeline: sys.telemetry().clone(),
+        trace: sys.trace().clone(),
+        metrics,
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_race_covers_every_session() {
+        let race = run_traced_race(42, SimDuration::from_secs(5));
+        let tl = &race.timeline;
+        assert!(!tl.is_empty(), "no spans recorded");
+        assert_eq!(tl.open_count(), 0, "dangling spans at end of run");
+        assert_eq!(tl.dropped(), 0, "timeline overflowed");
+        // One session root per publication, with switch children.
+        assert_eq!(
+            tl.count_by_name("secure.session"),
+            race.metrics.publications
+        );
+        assert_eq!(
+            tl.count_by_name("world.switch_in"),
+            race.metrics.publications
+        );
+        assert_eq!(
+            tl.count_by_name("world.switch_out"),
+            race.metrics.publications
+        );
+        assert_eq!(
+            tl.count_by_name("scan.window"),
+            race.metrics.scans_completed
+        );
+        // Every non-root span links into a session tree.
+        for span in tl.spans() {
+            if span.name != "secure.session" {
+                assert!(span.parent.is_some(), "{} has no parent", span.name);
+            }
+        }
+        // The exports are non-trivial and deterministic.
+        let json = race.chrome_trace();
+        assert!(json.contains("secure.session"));
+        let again = run_traced_race(42, SimDuration::from_secs(5));
+        assert_eq!(json, again.chrome_trace());
+        assert_eq!(race.jsonl(), again.jsonl());
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let race = run_traced_race(7, SimDuration::from_secs(3));
+        let report = TelemetryReport::of(&[race.metrics.clone(), race.metrics.clone()]);
+        assert_eq!(report.campaigns, 2);
+        assert_eq!(report.publications, 2 * race.metrics.publications);
+        let json = report.to_json();
+        assert!(json.contains("\"publication_delay_ns\""));
+        assert!(json.contains("\"span_counts\""));
+        assert!(json.contains("\"secure.session\""));
+        // Merge order does not matter.
+        let swapped = TelemetryReport::of(&[race.metrics.clone(), race.metrics.clone()]);
+        assert_eq!(json, swapped.to_json());
+    }
+}

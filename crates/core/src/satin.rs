@@ -10,7 +10,7 @@ use satin_hw::timing::ScanStrategy;
 use satin_hw::{CoreId, TimingModel, World};
 use satin_mem::KernelLayout;
 use satin_secure::SecureStorage;
-use satin_sim::{SimDuration, SimTime, TraceCategory};
+use satin_sim::{SimDuration, SimTime};
 use satin_system::{BootCtx, ScanRequest, SecureCtx, SecureService};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -340,10 +340,7 @@ impl SecureService for Satin {
             observed,
         );
         if outcome.is_tampered() {
-            ctx.trace(
-                TraceCategory::SatinAlarm,
-                format!("area {} tampered on {core}", request.area_id),
-            );
+            ctx.raise_alarm(format!("area {} tampered on {core}", request.area_id));
             // Remediation (extension): write the golden invariant bytes back
             // over the tampered area, from the secure world.
             if let Some(golden) = inner.golden.as_ref() {

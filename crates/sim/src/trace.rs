@@ -168,11 +168,13 @@ impl TraceLog {
         }
     }
 
-    /// A log that records nothing (for hot benchmark paths).
+    /// A log that records nothing (for hot benchmark paths). It keeps the
+    /// default capacity so a later [`set_enabled(true)`](Self::set_enabled)
+    /// behaves like a fresh log rather than one that evicts on every record.
     pub fn disabled() -> Self {
         TraceLog {
             entries: VecDeque::new(),
-            capacity: 1,
+            capacity: Self::DEFAULT_CAPACITY,
             dropped: 0,
             enabled: false,
         }
@@ -324,6 +326,19 @@ mod tests {
         log.record(SimTime::ZERO, "c", "ignored");
         assert!(log.is_empty());
         assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn disabled_then_enabled_keeps_default_capacity() {
+        // Regression: `disabled()` used to report `capacity: 1`, so a log
+        // re-enabled later silently evicted every record but the last.
+        let mut log = TraceLog::disabled();
+        log.set_enabled(true);
+        for i in 0..100u64 {
+            log.record(SimTime::from_nanos(i), "c", i.to_string());
+        }
+        assert_eq!(log.len(), 100);
+        assert_eq!(log.dropped(), 0);
     }
 
     #[test]

@@ -88,6 +88,72 @@ impl Histogram {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
         (self.lo + idx as f64 * w, self.lo + (idx + 1) as f64 * w)
     }
+
+    /// Renders the histogram as labelled count rows (one per nonempty bin,
+    /// plus underflow/overflow rows when nonzero), bars scaled to `width`.
+    pub fn render(&self, width: usize) -> String {
+        let mut rows = Vec::new();
+        if self.underflow > 0 {
+            rows.push((format!("< {:.3}", self.lo), self.underflow));
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                let (lo, hi) = self.bin_edges(i);
+                rows.push((format!("[{lo:.3}, {hi:.3})"), c));
+            }
+        }
+        if self.overflow > 0 {
+            rows.push((format!(">= {:.3}", self.hi), self.overflow));
+        }
+        render_count_rows(&rows, width)
+    }
+}
+
+/// Renders labelled counts as an ASCII histogram: one row per label, bars
+/// scaled so the largest count spans `width` characters. The shared renderer
+/// behind [`Histogram::render`] and the telemetry layer's log-bucket
+/// duration histograms.
+///
+/// # Example
+///
+/// ```
+/// let out = satin_stats::hist::render_count_rows(
+///     &[("[1us, 2us)".to_string(), 30), ("[2us, 4us)".to_string(), 10)],
+///     20,
+/// );
+/// assert!(out.contains("[1us, 2us)"));
+/// assert!(out.lines().count() == 2);
+/// ```
+pub fn render_count_rows(rows: &[(String, u64)], width: usize) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let max = rows.iter().map(|(_, c)| *c).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let count_w = rows
+        .iter()
+        .map(|(_, c)| c.to_string().len())
+        .max()
+        .unwrap_or(1);
+    let mut out = String::new();
+    for (label, count) in rows {
+        let bar_len = if max > 0 {
+            ((*count as f64 / max as f64) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let pad = label_w - label.chars().count();
+        out.push_str(label);
+        out.extend(std::iter::repeat(' ').take(pad));
+        out.push_str(&format!(" | {count:>count_w$} "));
+        out.extend(std::iter::repeat('#').take(bar_len));
+        out.push('\n');
+    }
+    out
 }
 
 impl Extend<f64> for Histogram {
@@ -137,6 +203,33 @@ mod tests {
         let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
         h.extend((0..100).map(|i| i as f64 / 10.0));
         assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn render_shows_nonempty_bins_and_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.add(1.0);
+        h.add(1.5);
+        h.add(9.0);
+        h.add(-1.0);
+        h.add(42.0);
+        let out = h.render(10);
+        assert_eq!(out.lines().count(), 4); // 2 bins + underflow + overflow
+        assert!(out.contains("[0.000, 2.000)"));
+        assert!(out.contains("< 0.000"));
+        assert!(out.contains(">= 10.000"));
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn render_count_rows_scales_bars() {
+        let rows = vec![("a".to_string(), 4), ("bb".to_string(), 2)];
+        let out = render_count_rows(&rows, 8);
+        let lines: Vec<_> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].matches('#').count(), 8);
+        assert_eq!(lines[1].matches('#').count(), 4);
+        assert!(render_count_rows(&[], 8).is_empty());
     }
 
     proptest! {

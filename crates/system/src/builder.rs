@@ -5,6 +5,7 @@ use satin_hw::Platform;
 use satin_kernel::KernelConfig;
 use satin_mem::KernelLayout;
 use satin_sim::{RngFactory, TraceLog};
+use satin_telemetry::Timeline;
 
 /// Builder for a [`System`].
 ///
@@ -26,6 +27,7 @@ pub struct SystemBuilder {
     master_seed: u64,
     image_seed: u64,
     trace: bool,
+    telemetry: bool,
 }
 
 impl SystemBuilder {
@@ -38,6 +40,7 @@ impl SystemBuilder {
             master_seed: 0x5a71_0001,
             image_seed: 0x1_4ee7,
             trace: true,
+            telemetry: false,
         }
     }
 
@@ -77,6 +80,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables or disables telemetry span recording (off by default; see
+    /// [`System::telemetry`]). Recording is pure observation, so turning it
+    /// on never changes a run's outcome — only what gets remembered.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Assembles the system.
     pub fn build(self) -> System {
         let f = RngFactory::new(self.master_seed);
@@ -91,6 +102,11 @@ impl SystemBuilder {
         } else {
             TraceLog::disabled()
         };
+        let telemetry = if self.telemetry {
+            Timeline::new()
+        } else {
+            Timeline::disabled()
+        };
         System::assemble(
             self.platform,
             self.layout,
@@ -98,6 +114,7 @@ impl SystemBuilder {
             self.image_seed,
             rngs,
             trace,
+            telemetry,
         )
     }
 }

@@ -4,6 +4,7 @@ use crate::body::Then;
 use satin_kernel::tick::TickState;
 use satin_kernel::{KernelConfig, TaskId};
 use satin_sim::SimTime;
+use satin_telemetry::SpanId;
 
 /// The busy period currently executing on a core.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +23,9 @@ pub(super) struct Running {
 pub(super) struct SecureSession {
     pub(super) fired: SimTime,
     pub(super) scan_end: SimTime,
+    /// The session's root telemetry span ([`SpanId::DETACHED`] when
+    /// telemetry is off), closed at world-switch out.
+    pub(super) span: SpanId,
 }
 
 /// Everything the event loop tracks per core.

@@ -37,7 +37,8 @@ use satin_kernel::syscall::SyscallTable;
 use satin_kernel::{Affinity, KernelConfig, SchedClass, Scheduler, TaskId};
 use satin_mem::{KernelLayout, PhysMemory, ScanWindow};
 use satin_secure::TestSecurePayload;
-use satin_sim::{SimDuration, SimRng, SimTime, Simulator, TraceLog};
+use satin_sim::{SimDuration, SimObserver, SimRng, SimTime, Simulator, TraceLog};
+use satin_telemetry::{Timeline, TrackId};
 
 /// A hook invoked on every delivered scheduler tick — the injection point
 /// KProber-I uses after hijacking the timer-interrupt vector (§III-C1).
@@ -93,6 +94,7 @@ pub struct System {
     tsp: TestSecurePayload,
     time_buffer: SharedTimeBuffer,
     trace: TraceLog,
+    telemetry: Timeline,
     stats: SysStats,
     cores: Vec<CoreState>,
     scans: Vec<ActiveScan>,
@@ -115,6 +117,7 @@ impl System {
         image_seed: u64,
         rngs: [SimRng; 4],
         trace: TraceLog,
+        mut telemetry: Timeline,
     ) -> Self {
         let n = platform.topology().num_cores();
         let mem = PhysMemory::with_image(&layout, image_seed);
@@ -130,6 +133,11 @@ impl System {
         }
         let cores = (0..n).map(|_| CoreState::new(&config)).collect::<Vec<_>>();
         let [rng_sched, rng_timing, rng_secure, rng_body] = rngs;
+        if telemetry.is_enabled() {
+            for i in 0..n {
+                telemetry.set_track_name(TrackId(i as u32), format!("core {i}"));
+            }
+        }
         let mut sys = System {
             sim: Simulator::new(),
             platform,
@@ -145,6 +153,7 @@ impl System {
             tsp: TestSecurePayload::new(n),
             time_buffer: SharedTimeBuffer::new(n),
             trace,
+            telemetry,
             stats,
             cores,
             scans: Vec::new(),
@@ -329,6 +338,29 @@ impl System {
     /// Mutable trace log (e.g. to clear between experiment phases).
     pub fn trace_mut(&mut self) -> &mut TraceLog {
         &mut self.trace
+    }
+
+    /// The recorded telemetry timeline (disabled and empty unless built with
+    /// [`crate::SystemBuilder::telemetry`]).
+    pub fn telemetry(&self) -> &Timeline {
+        &self.telemetry
+    }
+
+    /// Mutable timeline (e.g. to clear between experiment phases).
+    pub fn telemetry_mut(&mut self) -> &mut Timeline {
+        &mut self.telemetry
+    }
+
+    /// Installs a [`SimObserver`] (e.g. a
+    /// [`TelemetrySink`](satin_telemetry::TelemetrySink)) on the underlying
+    /// event engine. Observers are read-only, so this never perturbs a run.
+    pub fn set_sim_observer(&mut self, observer: Box<dyn SimObserver<SysEvent>>) {
+        self.sim.set_observer(observer);
+    }
+
+    /// Removes and returns the installed sim observer, if any.
+    pub fn take_sim_observer(&mut self) -> Option<Box<dyn SimObserver<SysEvent>>> {
+        self.sim.take_observer()
     }
 
     /// `true` if `core` is currently in the secure world.

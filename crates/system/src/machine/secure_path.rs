@@ -8,6 +8,12 @@ use crate::service::{ScanRequest, SecureCtx};
 use satin_hw::CoreId;
 use satin_mem::ScanWindow;
 use satin_sim::{SimDuration, SimTime, TraceCategory};
+use satin_telemetry::TrackId;
+
+/// The telemetry track a core's spans land on (track *n* = core *n*).
+fn track(core: CoreId) -> TrackId {
+    TrackId(core.index() as u32)
+}
 
 impl System {
     pub(super) fn on_secure_fire(&mut self, now: SimTime, core: CoreId, generation: u64) {
@@ -47,6 +53,17 @@ impl System {
             now,
             TraceCategory::SecureEnter,
             format!("{core} switch={switch}"),
+        );
+        let session_span =
+            self.telemetry
+                .start("secure.session", track(core), now, None, format!("{core}"));
+        self.telemetry.complete(
+            "world.switch_in",
+            track(core),
+            now,
+            entry,
+            Some(session_span),
+            format!("switch={switch}"),
         );
 
         let request = self.call_service_timer(now, core);
@@ -91,6 +108,14 @@ impl System {
                     ),
                 );
                 self.stats.metrics.core_mut(core).scans_started += 1;
+                self.telemetry.complete(
+                    "scan.window",
+                    track(core),
+                    entry,
+                    scan_end,
+                    Some(session_span),
+                    format!("area={} len={}", request.area_id, request.range.len()),
+                );
                 self.scans.push(ActiveScan {
                     core,
                     request,
@@ -99,6 +124,7 @@ impl System {
                 self.cores[core.index()].secure = Some(SecureSession {
                     fired: now,
                     scan_end,
+                    span: session_span,
                 });
                 self.sim
                     .schedule_at(scan_end, SysEvent::SecureDone { core });
@@ -108,6 +134,7 @@ impl System {
                 self.cores[core.index()].secure = Some(SecureSession {
                     fired: now,
                     scan_end,
+                    span: session_span,
                 });
                 self.sim
                     .schedule_at(scan_end, SysEvent::SecureDone { core });
@@ -132,6 +159,7 @@ impl System {
                 trace: &mut self.trace,
                 rearm: &mut rearm,
                 repairs: &mut self.stats.secure_repairs,
+                alarms: &mut self.stats.alarms,
             };
             service.on_secure_timer(core, &mut ctx)
         };
@@ -158,6 +186,7 @@ impl System {
             return;
         };
         debug_assert_eq!(session.scan_end, now);
+        let alarms_before = self.stats.alarms;
 
         // Resolve the finished scan (if this round scanned).
         if let Some(pos) = self.scans.iter().position(|s| s.core == core) {
@@ -169,6 +198,9 @@ impl System {
                     m.scans_torn += 1;
                 }
             }
+            self.stats
+                .metrics
+                .record_hash_window(scan.window.duration());
             let observed = scan.window.into_observed();
             if let Some(mut service) = self.service.take() {
                 let kind = self.platform.core_kind(core);
@@ -186,6 +218,7 @@ impl System {
                         trace: &mut self.trace,
                         rearm: &mut rearm,
                         repairs: &mut self.stats.secure_repairs,
+                        alarms: &mut self.stats.alarms,
                     };
                     service.on_scan_result(core, &scan.request, &observed, &mut ctx);
                 }
@@ -212,6 +245,34 @@ impl System {
             m.pollution_windows += 1;
         }
         self.stats.metrics.record_publication_delay(residency);
+        // The round's results are visible to the normal world once the
+        // world-switch out completes: the session span closes at `resume`,
+        // and a detection (any alarm raised inside this round) counts its
+        // latency from timer fire to that publication instant.
+        self.telemetry.complete(
+            "world.switch_out",
+            track(core),
+            now,
+            resume,
+            Some(session.span),
+            format!("switch={switch}"),
+        );
+        self.telemetry.end(session.span, resume);
+        self.telemetry.instant(
+            "publish",
+            track(core),
+            resume,
+            format!("residency={residency}"),
+        );
+        if self.stats.alarms > alarms_before {
+            self.stats.metrics.record_detection_latency(residency);
+            self.telemetry.instant(
+                "detection",
+                track(core),
+                resume,
+                format!("alarms={}", self.stats.alarms - alarms_before),
+            );
+        }
         // The scan streamed through shared cache/DRAM: the interference
         // window opens machine-wide (see TimingModel::post_secure_slowdown),
         // with strength scaled by how busy the machine was — interrupting a

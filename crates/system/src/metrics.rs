@@ -11,6 +11,7 @@
 
 use satin_hw::CoreId;
 use satin_sim::SimDuration;
+use satin_telemetry::DurationHistogram;
 
 /// Counters for one core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,19 +54,30 @@ pub struct SysMetrics {
     /// Total delay from secure timer fire to the round's results being
     /// published back to the normal world (the world-switch out).
     pub publication_delay_total: SimDuration,
+    /// Distribution of publication delays (fire → world-switch out), the
+    /// histogram behind [`SysMetrics::mean_publication_delay`].
+    pub publication_delay_hist: DurationHistogram,
+    /// Distribution of introspection hash-window lengths (scan begin →
+    /// scan end) across completed scans.
+    pub hash_window_hist: DurationHistogram,
+    /// Distribution of detection latencies: for each secure round that
+    /// raised at least one alarm, the delay from the round's timer fire to
+    /// the result being published back to the normal world.
+    pub detection_latency_hist: DurationHistogram,
 }
 
 impl SysMetrics {
     /// Creates zeroed metrics for `num_cores` cores.
+    #[must_use]
     pub fn new(num_cores: usize) -> Self {
         SysMetrics {
             cores: vec![CoreMetrics::default(); num_cores],
-            publications: 0,
-            publication_delay_total: SimDuration::ZERO,
+            ..SysMetrics::default()
         }
     }
 
     /// Number of cores tracked.
+    #[must_use]
     pub fn num_cores(&self) -> usize {
         self.cores.len()
     }
@@ -75,6 +87,7 @@ impl SysMetrics {
     /// # Panics
     ///
     /// Panics if `core` is beyond the tracked topology.
+    #[must_use]
     pub fn core(&self, core: CoreId) -> &CoreMetrics {
         &self.cores[core.index()]
     }
@@ -92,6 +105,7 @@ impl SysMetrics {
     }
 
     /// Sums the per-core counters across the machine.
+    #[must_use]
     pub fn total(&self) -> CoreMetrics {
         let mut total = CoreMetrics::default();
         for m in &self.cores {
@@ -103,10 +117,20 @@ impl SysMetrics {
     pub(crate) fn record_publication_delay(&mut self, delay: SimDuration) {
         self.publications += 1;
         self.publication_delay_total += delay;
+        self.publication_delay_hist.record(delay);
+    }
+
+    pub(crate) fn record_hash_window(&mut self, length: SimDuration) {
+        self.hash_window_hist.record(length);
+    }
+
+    pub(crate) fn record_detection_latency(&mut self, latency: SimDuration) {
+        self.detection_latency_hist.record(latency);
     }
 
     /// Mean delay from secure timer fire to result publication, if any
     /// round completed.
+    #[must_use]
     pub fn mean_publication_delay(&self) -> Option<SimDuration> {
         if self.publications == 0 {
             return None;
@@ -131,6 +155,41 @@ mod tests {
         assert_eq!(total.world_switches, 10);
         assert_eq!(total.scans_torn, 1);
         assert_eq!(m.per_core().count(), 3);
+    }
+
+    #[test]
+    fn total_equals_per_core_sum() {
+        let mut m = SysMetrics::new(4);
+        for (i, core) in (0..4).map(CoreId::new).enumerate() {
+            let c = m.core_mut(core);
+            c.world_switches = 2 * i as u64 + 1;
+            c.scans_started = i as u64;
+            c.scans_completed = i as u64;
+            c.scans_torn = (i % 2) as u64;
+            c.rt_preemptions = 3;
+            c.pollution_windows = i as u64 * 5;
+        }
+        let mut summed = CoreMetrics::default();
+        for (_, c) in m.per_core() {
+            summed.absorb(c);
+        }
+        assert_eq!(m.total(), summed);
+    }
+
+    #[test]
+    fn histograms_track_recorded_delays() {
+        let mut m = SysMetrics::new(1);
+        m.record_publication_delay(SimDuration::from_micros(10));
+        m.record_publication_delay(SimDuration::from_micros(30));
+        m.record_hash_window(SimDuration::from_micros(7));
+        m.record_detection_latency(SimDuration::from_micros(12));
+        assert_eq!(m.publication_delay_hist.count(), 2);
+        assert_eq!(
+            m.publication_delay_hist.max(),
+            Some(SimDuration::from_micros(30))
+        );
+        assert_eq!(m.hash_window_hist.count(), 1);
+        assert_eq!(m.detection_latency_hist.count(), 1);
     }
 
     #[test]

@@ -118,6 +118,7 @@ pub struct SecureCtx<'a> {
     pub(crate) trace: &'a mut TraceLog,
     pub(crate) rearm: &'a mut Option<(CoreId, SimTime)>,
     pub(crate) repairs: &'a mut u64,
+    pub(crate) alarms: &'a mut u64,
 }
 
 impl<'a> SecureCtx<'a> {
@@ -192,6 +193,16 @@ impl<'a> SecureCtx<'a> {
             format!("{} bytes restored at {addr}", bytes.len()),
         );
         Ok(())
+    }
+
+    /// Raises an integrity alarm: counted in
+    /// [`SysStats::alarms`](crate::stats::SysStats::alarms) (which feeds the
+    /// machine's detection-latency histogram) and traced as
+    /// [`TraceCategory::SatinAlarm`].
+    pub fn raise_alarm(&mut self, detail: impl Into<String>) {
+        *self.alarms += 1;
+        self.trace
+            .record(self.now, TraceCategory::SatinAlarm, detail);
     }
 
     /// Appends a trace entry.

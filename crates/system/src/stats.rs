@@ -25,6 +25,9 @@ pub struct SysStats {
     pub tick_hook_time: SimDuration,
     /// Secure-world remediation writes to normal memory.
     pub secure_repairs: u64,
+    /// Integrity alarms raised by the secure service (via
+    /// [`SecureCtx::raise_alarm`](crate::service::SecureCtx::raise_alarm)).
+    pub alarms: u64,
     /// Per-core, per-subsystem breakdown (see [`SysMetrics`]).
     pub metrics: SysMetrics,
     /// Genuine syscall pointers recorded at boot, for hijack detection.

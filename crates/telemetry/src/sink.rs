@@ -1,0 +1,153 @@
+//! [`TelemetrySink`]: a [`SimObserver`] that aggregates engine activity.
+//!
+//! The sink counts schedule/dispatch points, tracks peak queue depth, and
+//! histograms the sim-time gap between consecutive dispatches — the
+//! engine-level complement to the span timelines the machine layer records.
+//! Because [`Simulator::set_observer`] takes ownership of a boxed observer,
+//! the sink aggregates into an [`Rc<RefCell<SinkState>>`] that the caller
+//! keeps a [`SinkProbe`] handle to, readable after (or during) the run.
+//!
+//! [`Simulator::set_observer`]: satin_sim::Simulator::set_observer
+
+use crate::hist::{CounterSet, DurationHistogram};
+use satin_sim::{SimObserver, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Aggregated engine activity, shared between a [`TelemetrySink`] installed
+/// in the simulator and the [`SinkProbe`] the caller keeps.
+#[derive(Debug, Clone, Default)]
+pub struct SinkState {
+    /// Named event counters: `sim.scheduled`, `sim.dispatched`.
+    pub counters: CounterSet,
+    /// Distribution of sim-time gaps between consecutive dispatches.
+    pub dispatch_gap: DurationHistogram,
+    /// Highest pending-event count observed.
+    pub max_queue_depth: usize,
+    /// Timestamp of the most recent dispatch, if any.
+    pub last_dispatch: Option<SimTime>,
+}
+
+impl SinkState {
+    /// Adds all of `other`'s aggregates into `self` (deterministic: counter
+    /// and bucket addition, max of depths).
+    pub fn merge(&mut self, other: &SinkState) {
+        self.counters.merge(&other.counters);
+        self.dispatch_gap.merge(&other.dispatch_gap);
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.last_dispatch = match (self.last_dispatch, other.last_dispatch) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// A caller-side handle onto the state a [`TelemetrySink`] writes into.
+#[derive(Debug, Clone, Default)]
+pub struct SinkProbe {
+    state: Rc<RefCell<SinkState>>,
+}
+
+impl SinkProbe {
+    /// A snapshot of the aggregates so far.
+    pub fn snapshot(&self) -> SinkState {
+        self.state.borrow().clone()
+    }
+}
+
+/// A [`SimObserver`] that aggregates schedule/dispatch activity into a
+/// shared [`SinkState`]. Purely observational: consumes no randomness and
+/// schedules nothing.
+///
+/// # Example
+///
+/// ```
+/// use satin_telemetry::TelemetrySink;
+/// use satin_sim::{SimDuration, Simulator};
+///
+/// let (sink, probe) = TelemetrySink::shared();
+/// let mut sim: Simulator<u32> = Simulator::new();
+/// sim.set_observer(Box::new(sink));
+/// sim.schedule_after(SimDuration::from_nanos(10), 1);
+/// sim.schedule_after(SimDuration::from_nanos(30), 2);
+/// while sim.pop().is_some() {}
+/// let state = probe.snapshot();
+/// assert_eq!(state.counters.get("sim.dispatched"), 2);
+/// assert_eq!(state.dispatch_gap.count(), 1); // one gap between two dispatches
+/// ```
+#[derive(Debug, Default)]
+pub struct TelemetrySink {
+    state: Rc<RefCell<SinkState>>,
+}
+
+impl TelemetrySink {
+    /// A sink plus the probe that reads its aggregates.
+    pub fn shared() -> (TelemetrySink, SinkProbe) {
+        let state = Rc::new(RefCell::new(SinkState::default()));
+        (
+            TelemetrySink {
+                state: Rc::clone(&state),
+            },
+            SinkProbe { state },
+        )
+    }
+}
+
+impl<E> SimObserver<E> for TelemetrySink {
+    fn on_scheduled(&mut self, _at: SimTime, _seq: u64, _event: &E, queue_depth: usize) {
+        let mut s = self.state.borrow_mut();
+        s.counters.incr("sim.scheduled", 1);
+        s.max_queue_depth = s.max_queue_depth.max(queue_depth);
+    }
+
+    fn on_dispatched(&mut self, time: SimTime, _seq: u64, _event: &E, _queue_depth: usize) {
+        let mut s = self.state.borrow_mut();
+        s.counters.incr("sim.dispatched", 1);
+        if let Some(prev) = s.last_dispatch {
+            s.dispatch_gap.record(time.saturating_since(prev));
+        }
+        s.last_dispatch = Some(time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satin_sim::{SimDuration, Simulator};
+
+    #[test]
+    fn sink_aggregates_engine_activity() {
+        let (sink, probe) = TelemetrySink::shared();
+        let mut sim: Simulator<&'static str> = Simulator::new();
+        sim.set_observer(Box::new(sink));
+        sim.schedule_after(SimDuration::from_nanos(5), "a");
+        sim.schedule_after(SimDuration::from_nanos(5), "b"); // same instant: zero gap
+        sim.schedule_after(SimDuration::from_nanos(25), "c");
+        while sim.pop().is_some() {}
+        let s = probe.snapshot();
+        assert_eq!(s.counters.get("sim.scheduled"), 3);
+        assert_eq!(s.counters.get("sim.dispatched"), 3);
+        assert_eq!(s.max_queue_depth, 3);
+        assert_eq!(s.dispatch_gap.count(), 2);
+        assert_eq!(s.dispatch_gap.min(), Some(SimDuration::ZERO));
+        assert_eq!(s.dispatch_gap.max(), Some(SimDuration::from_nanos(20)));
+        assert_eq!(s.last_dispatch, Some(SimTime::from_nanos(25)));
+    }
+
+    #[test]
+    fn merge_combines_states() {
+        let mut a = SinkState::default();
+        a.counters.incr("sim.dispatched", 2);
+        a.max_queue_depth = 4;
+        a.last_dispatch = Some(SimTime::from_nanos(10));
+        let mut b = SinkState::default();
+        b.counters.incr("sim.dispatched", 3);
+        b.max_queue_depth = 7;
+        b.dispatch_gap.record_nanos(5);
+        a.merge(&b);
+        assert_eq!(a.counters.get("sim.dispatched"), 5);
+        assert_eq!(a.max_queue_depth, 7);
+        assert_eq!(a.dispatch_gap.count(), 1);
+        assert_eq!(a.last_dispatch, Some(SimTime::from_nanos(10)));
+    }
+}

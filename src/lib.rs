@@ -57,6 +57,7 @@
 //! | [`kernel`] | `satin-kernel` | CFS + RT schedulers, ticks, syscall table |
 //! | [`secure`] | `satin-secure` | TSP, secure storage, boot measurement |
 //! | [`system`] | `satin-system` | The machine: event loop over both worlds |
+//! | [`telemetry`] | `satin-telemetry` | Spans, histograms, Chrome/JSONL exporters |
 //! | [`attack`] | `satin-attack` | TZ-Evader: probers, rootkit, race math |
 //! | [`core`] | `satin-core` | **SATIN** (the paper's contribution) |
 //! | [`workload`] | `satin-workload` | UnixBench-like overhead suite |
@@ -71,6 +72,7 @@ pub use satin_secure as secure;
 pub use satin_sim as sim;
 pub use satin_stats as stats;
 pub use satin_system as system;
+pub use satin_telemetry as telemetry;
 pub use satin_workload as workload;
 
 /// The most commonly used items in one import.

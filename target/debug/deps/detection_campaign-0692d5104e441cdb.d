@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection_campaign-0692d5104e441cdb.d: crates/bench/benches/detection_campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection_campaign-0692d5104e441cdb.rmeta: crates/bench/benches/detection_campaign.rs Cargo.toml
+
+crates/bench/benches/detection_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

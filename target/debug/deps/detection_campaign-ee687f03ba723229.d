@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection_campaign-ee687f03ba723229.d: crates/bench/benches/detection_campaign.rs
+
+/root/repo/target/debug/deps/detection_campaign-ee687f03ba723229: crates/bench/benches/detection_campaign.rs
+
+crates/bench/benches/detection_campaign.rs:

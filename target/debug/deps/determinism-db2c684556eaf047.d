@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-db2c684556eaf047.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-db2c684556eaf047: tests/determinism.rs
+
+tests/determinism.rs:

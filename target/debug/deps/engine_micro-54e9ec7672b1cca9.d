@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_micro-54e9ec7672b1cca9.d: crates/bench/benches/engine_micro.rs
+
+/root/repo/target/debug/deps/engine_micro-54e9ec7672b1cca9: crates/bench/benches/engine_micro.rs
+
+crates/bench/benches/engine_micro.rs:

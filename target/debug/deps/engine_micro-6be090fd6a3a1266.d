@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_micro-6be090fd6a3a1266.d: crates/bench/benches/engine_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_micro-6be090fd6a3a1266.rmeta: crates/bench/benches/engine_micro.rs Cargo.toml
+
+crates/bench/benches/engine_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

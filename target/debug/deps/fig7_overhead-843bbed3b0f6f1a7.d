@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_overhead-843bbed3b0f6f1a7.d: crates/bench/benches/fig7_overhead.rs
+
+/root/repo/target/debug/deps/fig7_overhead-843bbed3b0f6f1a7: crates/bench/benches/fig7_overhead.rs
+
+crates/bench/benches/fig7_overhead.rs:

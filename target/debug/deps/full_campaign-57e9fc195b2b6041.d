@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_campaign-57e9fc195b2b6041.d: tests/full_campaign.rs
+
+/root/repo/target/debug/deps/full_campaign-57e9fc195b2b6041: tests/full_campaign.rs
+
+tests/full_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_campaign-d30967db73f4a011.d: tests/full_campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_campaign-d30967db73f4a011.rmeta: tests/full_campaign.rs Cargo.toml
+
+tests/full_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

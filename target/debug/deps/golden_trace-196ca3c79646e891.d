@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_trace-196ca3c79646e891.d: tests/golden_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_trace-196ca3c79646e891.rmeta: tests/golden_trace.rs Cargo.toml
+
+tests/golden_trace.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

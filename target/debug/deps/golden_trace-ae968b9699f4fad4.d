@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_trace-ae968b9699f4fad4.d: tests/golden_trace.rs
+
+/root/repo/target/debug/deps/golden_trace-ae968b9699f4fad4: tests/golden_trace.rs
+
+tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_stress-5958d27c9a869e63.d: tests/machine_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_stress-5958d27c9a869e63.rmeta: tests/machine_stress.rs Cargo.toml
+
+tests/machine_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

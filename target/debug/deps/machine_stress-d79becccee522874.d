@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_stress-d79becccee522874.d: tests/machine_stress.rs
+
+/root/repo/target/debug/deps/machine_stress-d79becccee522874: tests/machine_stress.rs
+
+tests/machine_stress.rs:

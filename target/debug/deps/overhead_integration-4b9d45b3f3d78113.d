@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead_integration-4b9d45b3f3d78113.d: tests/overhead_integration.rs
+
+/root/repo/target/debug/deps/overhead_integration-4b9d45b3f3d78113: tests/overhead_integration.rs
+
+tests/overhead_integration.rs:

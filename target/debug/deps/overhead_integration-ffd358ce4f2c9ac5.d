@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead_integration-ffd358ce4f2c9ac5.d: tests/overhead_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead_integration-ffd358ce4f2c9ac5.rmeta: tests/overhead_integration.rs Cargo.toml
+
+tests/overhead_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_constants-e97d20a06ede259c.d: tests/paper_constants.rs
+
+/root/repo/target/debug/deps/paper_constants-e97d20a06ede259c: tests/paper_constants.rs
+
+tests/paper_constants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/race_analysis-d1e47a2a719418f5.d: crates/bench/benches/race_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/librace_analysis-d1e47a2a719418f5.rmeta: crates/bench/benches/race_analysis.rs Cargo.toml
+
+crates/bench/benches/race_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/race_analysis-de96fc972622ac53.d: crates/bench/benches/race_analysis.rs
+
+/root/repo/target/debug/deps/race_analysis-de96fc972622ac53: crates/bench/benches/race_analysis.rs
+
+crates/bench/benches/race_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-480f25c29e5faf65.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-480f25c29e5faf65: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6b673816d7325990.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6b673816d7325990: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

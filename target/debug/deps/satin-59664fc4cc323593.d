@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satin-59664fc4cc323593.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin-59664fc4cc323593.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/satin-a4864cd690b21f91.d: src/lib.rs
+
+/root/repo/target/debug/deps/satin-a4864cd690b21f91: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/satin-a6af73e8594ec935.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsatin-a6af73e8594ec935.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsatin-a6af73e8594ec935.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/satin_attack-c1518145ec475303.d: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_attack-c1518145ec475303.rmeta: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs Cargo.toml
+
+crates/attack/src/lib.rs:
+crates/attack/src/channel.rs:
+crates/attack/src/evader.rs:
+crates/attack/src/kprober.rs:
+crates/attack/src/predictor.rs:
+crates/attack/src/prober.rs:
+crates/attack/src/race.rs:
+crates/attack/src/rootkit.rs:
+crates/attack/src/threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

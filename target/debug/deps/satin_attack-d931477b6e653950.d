@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/satin_attack-d931477b6e653950.d: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+/root/repo/target/debug/deps/satin_attack-d931477b6e653950: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/channel.rs:
+crates/attack/src/evader.rs:
+crates/attack/src/kprober.rs:
+crates/attack/src/predictor.rs:
+crates/attack/src/prober.rs:
+crates/attack/src/race.rs:
+crates/attack/src/rootkit.rs:
+crates/attack/src/threshold.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/satin_bench-38502a850b0aa663.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/detection.rs crates/bench/src/fig7.rs crates/bench/src/race.rs crates/bench/src/recover.rs crates/bench/src/runner.rs crates/bench/src/switch.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/telemetry_report.rs crates/bench/src/threshold_sweep.rs crates/bench/src/userprober.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_bench-38502a850b0aa663.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/detection.rs crates/bench/src/fig7.rs crates/bench/src/race.rs crates/bench/src/recover.rs crates/bench/src/runner.rs crates/bench/src/switch.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/telemetry_report.rs crates/bench/src/threshold_sweep.rs crates/bench/src/userprober.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/detection.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/race.rs:
+crates/bench/src/recover.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/switch.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/telemetry_report.rs:
+crates/bench/src/threshold_sweep.rs:
+crates/bench/src/userprober.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/satin_core-1af781c152d7919e.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_core-1af781c152d7919e.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/areas.rs:
+crates/core/src/baseline.rs:
+crates/core/src/error.rs:
+crates/core/src/golden.rs:
+crates/core/src/integrity.rs:
+crates/core/src/queue.rs:
+crates/core/src/satin.rs:
+crates/core/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

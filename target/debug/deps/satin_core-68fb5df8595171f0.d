@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/satin_core-68fb5df8595171f0.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs
+
+/root/repo/target/debug/deps/satin_core-68fb5df8595171f0: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/areas.rs:
+crates/core/src/baseline.rs:
+crates/core/src/error.rs:
+crates/core/src/golden.rs:
+crates/core/src/integrity.rs:
+crates/core/src/queue.rs:
+crates/core/src/satin.rs:
+crates/core/src/sync.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/satin_core-8980c27c4c85bc41.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs
+
+/root/repo/target/debug/deps/libsatin_core-8980c27c4c85bc41.rlib: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs
+
+/root/repo/target/debug/deps/libsatin_core-8980c27c4c85bc41.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/areas.rs:
+crates/core/src/baseline.rs:
+crates/core/src/error.rs:
+crates/core/src/golden.rs:
+crates/core/src/integrity.rs:
+crates/core/src/queue.rs:
+crates/core/src/satin.rs:
+crates/core/src/sync.rs:

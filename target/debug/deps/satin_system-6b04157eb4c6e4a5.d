@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/satin_system-6b04157eb4c6e4a5.d: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_system-6b04157eb4c6e4a5.rmeta: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs Cargo.toml
+
+crates/system/src/lib.rs:
+crates/system/src/body.rs:
+crates/system/src/builder.rs:
+crates/system/src/event.rs:
+crates/system/src/machine/mod.rs:
+crates/system/src/machine/cores.rs:
+crates/system/src/machine/dispatch.rs:
+crates/system/src/machine/normal_path.rs:
+crates/system/src/machine/secure_path.rs:
+crates/system/src/metrics.rs:
+crates/system/src/service.rs:
+crates/system/src/stats.rs:
+crates/system/src/timebuf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/satin_system-c14f9dc73f53fe22.d: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/offset_tests.rs crates/system/src/machine/secure_path.rs crates/system/src/machine/tests.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_system-c14f9dc73f53fe22.rmeta: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/offset_tests.rs crates/system/src/machine/secure_path.rs crates/system/src/machine/tests.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs Cargo.toml
+
+crates/system/src/lib.rs:
+crates/system/src/body.rs:
+crates/system/src/builder.rs:
+crates/system/src/event.rs:
+crates/system/src/machine/mod.rs:
+crates/system/src/machine/cores.rs:
+crates/system/src/machine/dispatch.rs:
+crates/system/src/machine/normal_path.rs:
+crates/system/src/machine/offset_tests.rs:
+crates/system/src/machine/secure_path.rs:
+crates/system/src/machine/tests.rs:
+crates/system/src/metrics.rs:
+crates/system/src/service.rs:
+crates/system/src/stats.rs:
+crates/system/src/timebuf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/satin_system-ffba9c507ad3fa1e.d: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs
+
+/root/repo/target/debug/deps/libsatin_system-ffba9c507ad3fa1e.rlib: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs
+
+/root/repo/target/debug/deps/libsatin_system-ffba9c507ad3fa1e.rmeta: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs
+
+crates/system/src/lib.rs:
+crates/system/src/body.rs:
+crates/system/src/builder.rs:
+crates/system/src/event.rs:
+crates/system/src/machine/mod.rs:
+crates/system/src/machine/cores.rs:
+crates/system/src/machine/dispatch.rs:
+crates/system/src/machine/normal_path.rs:
+crates/system/src/machine/secure_path.rs:
+crates/system/src/metrics.rs:
+crates/system/src/service.rs:
+crates/system/src/stats.rs:
+crates/system/src/timebuf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/satin_telemetry-63b2cf8e093f6035.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libsatin_telemetry-63b2cf8e093f6035.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libsatin_telemetry-63b2cf8e093f6035.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/satin_telemetry-c9065ce662bde4c6.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatin_telemetry-c9065ce662bde4c6.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

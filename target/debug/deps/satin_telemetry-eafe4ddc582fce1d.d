@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satin_telemetry-eafe4ddc582fce1d.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/satin_telemetry-eafe4ddc582fce1d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:

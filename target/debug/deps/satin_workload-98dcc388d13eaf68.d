@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/satin_workload-98dcc388d13eaf68.d: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+/root/repo/target/debug/deps/libsatin_workload-98dcc388d13eaf68.rlib: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+/root/repo/target/debug/deps/libsatin_workload-98dcc388d13eaf68.rmeta: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/report.rs:
+crates/workload/src/runner.rs:
+crates/workload/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/satin_workload-dd3b57ddf4e66fae.d: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+/root/repo/target/debug/deps/satin_workload-dd3b57ddf4e66fae: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/report.rs:
+crates/workload/src/runner.rs:
+crates/workload/src/suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_invariants-5c11b1ba5db167fb.d: tests/security_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_invariants-5c11b1ba5db167fb.rmeta: tests/security_invariants.rs Cargo.toml
+
+tests/security_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_invariants-5ebbf8bd1d7e69c8.d: tests/security_invariants.rs
+
+/root/repo/target/debug/deps/security_invariants-5ebbf8bd1d7e69c8: tests/security_invariants.rs
+
+tests/security_invariants.rs:

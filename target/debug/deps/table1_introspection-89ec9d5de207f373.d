@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_introspection-89ec9d5de207f373.d: crates/bench/benches/table1_introspection.rs
+
+/root/repo/target/debug/deps/table1_introspection-89ec9d5de207f373: crates/bench/benches/table1_introspection.rs
+
+crates/bench/benches/table1_introspection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_introspection-e52c313f2e832789.d: crates/bench/benches/table1_introspection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_introspection-e52c313f2e832789.rmeta: crates/bench/benches/table1_introspection.rs Cargo.toml
+
+crates/bench/benches/table1_introspection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_threshold-befbf2b852047bd5.d: crates/bench/benches/table2_threshold.rs
+
+/root/repo/target/debug/deps/table2_threshold-befbf2b852047bd5: crates/bench/benches/table2_threshold.rs
+
+crates/bench/benches/table2_threshold.rs:

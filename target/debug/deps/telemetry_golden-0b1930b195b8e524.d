@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/telemetry_golden-0b1930b195b8e524.d: crates/bench/tests/telemetry_golden.rs
+
+/root/repo/target/debug/deps/telemetry_golden-0b1930b195b8e524: crates/bench/tests/telemetry_golden.rs
+
+crates/bench/tests/telemetry_golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/telemetry_golden-a775aab7f015e582.d: crates/bench/tests/telemetry_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_golden-a775aab7f015e582.rmeta: crates/bench/tests/telemetry_golden.rs Cargo.toml
+
+crates/bench/tests/telemetry_golden.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_platform-4a7c77fb31736d01.d: examples/custom_platform.rs
+
+/root/repo/target/debug/examples/custom_platform-4a7c77fb31736d01: examples/custom_platform.rs
+
+examples/custom_platform.rs:

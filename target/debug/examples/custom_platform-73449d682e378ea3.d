@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_platform-73449d682e378ea3.d: examples/custom_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_platform-73449d682e378ea3.rmeta: examples/custom_platform.rs Cargo.toml
+
+examples/custom_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evasion_attack-2248bbb7007212c7.d: examples/evasion_attack.rs
+
+/root/repo/target/debug/examples/evasion_attack-2248bbb7007212c7: examples/evasion_attack.rs
+
+examples/evasion_attack.rs:

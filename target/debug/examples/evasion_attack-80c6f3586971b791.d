@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/evasion_attack-80c6f3586971b791.d: examples/evasion_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevasion_attack-80c6f3586971b791.rmeta: examples/evasion_attack.rs Cargo.toml
+
+examples/evasion_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

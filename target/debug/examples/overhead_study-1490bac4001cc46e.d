@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overhead_study-1490bac4001cc46e.d: examples/overhead_study.rs
+
+/root/repo/target/debug/examples/overhead_study-1490bac4001cc46e: examples/overhead_study.rs
+
+examples/overhead_study.rs:

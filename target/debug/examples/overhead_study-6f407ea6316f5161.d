@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/overhead_study-6f407ea6316f5161.d: examples/overhead_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboverhead_study-6f407ea6316f5161.rmeta: examples/overhead_study.rs Cargo.toml
+
+examples/overhead_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

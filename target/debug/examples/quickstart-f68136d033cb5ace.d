@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f68136d033cb5ace.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f68136d033cb5ace: examples/quickstart.rs
+
+examples/quickstart.rs:

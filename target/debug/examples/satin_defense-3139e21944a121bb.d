@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/satin_defense-3139e21944a121bb.d: examples/satin_defense.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsatin_defense-3139e21944a121bb.rmeta: examples/satin_defense.rs Cargo.toml
+
+examples/satin_defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/satin_defense-87878693a48e2e8c.d: examples/satin_defense.rs
+
+/root/repo/target/debug/examples/satin_defense-87878693a48e2e8c: examples/satin_defense.rs
+
+examples/satin_defense.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsatin_hash.rlib: /root/repo/crates/hash/src/lib.rs /root/repo/crates/hash/src/table.rs

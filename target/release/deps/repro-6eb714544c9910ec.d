@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-6eb714544c9910ec.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-6eb714544c9910ec: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/satin-1af3f3f4cfb562e5.d: src/lib.rs
+
+/root/repo/target/release/deps/libsatin-1af3f3f4cfb562e5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsatin-1af3f3f4cfb562e5.rmeta: src/lib.rs
+
+src/lib.rs:

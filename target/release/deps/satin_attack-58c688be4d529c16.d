@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/satin_attack-58c688be4d529c16.d: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+/root/repo/target/release/deps/libsatin_attack-58c688be4d529c16.rlib: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+/root/repo/target/release/deps/libsatin_attack-58c688be4d529c16.rmeta: crates/attack/src/lib.rs crates/attack/src/channel.rs crates/attack/src/evader.rs crates/attack/src/kprober.rs crates/attack/src/predictor.rs crates/attack/src/prober.rs crates/attack/src/race.rs crates/attack/src/rootkit.rs crates/attack/src/threshold.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/channel.rs:
+crates/attack/src/evader.rs:
+crates/attack/src/kprober.rs:
+crates/attack/src/predictor.rs:
+crates/attack/src/prober.rs:
+crates/attack/src/race.rs:
+crates/attack/src/rootkit.rs:
+crates/attack/src/threshold.rs:

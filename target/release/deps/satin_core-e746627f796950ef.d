@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/satin_core-e746627f796950ef.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs
+
+/root/repo/target/release/deps/libsatin_core-e746627f796950ef.rlib: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs
+
+/root/repo/target/release/deps/libsatin_core-e746627f796950ef.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/areas.rs crates/core/src/baseline.rs crates/core/src/error.rs crates/core/src/golden.rs crates/core/src/integrity.rs crates/core/src/queue.rs crates/core/src/satin.rs crates/core/src/sync.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/areas.rs:
+crates/core/src/baseline.rs:
+crates/core/src/error.rs:
+crates/core/src/golden.rs:
+crates/core/src/integrity.rs:
+crates/core/src/queue.rs:
+crates/core/src/satin.rs:
+crates/core/src/sync.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/satin_system-61f8ddf9c06e57cb.d: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs
+
+/root/repo/target/release/deps/libsatin_system-61f8ddf9c06e57cb.rlib: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs
+
+/root/repo/target/release/deps/libsatin_system-61f8ddf9c06e57cb.rmeta: crates/system/src/lib.rs crates/system/src/body.rs crates/system/src/builder.rs crates/system/src/event.rs crates/system/src/machine/mod.rs crates/system/src/machine/cores.rs crates/system/src/machine/dispatch.rs crates/system/src/machine/normal_path.rs crates/system/src/machine/secure_path.rs crates/system/src/metrics.rs crates/system/src/service.rs crates/system/src/stats.rs crates/system/src/timebuf.rs
+
+crates/system/src/lib.rs:
+crates/system/src/body.rs:
+crates/system/src/builder.rs:
+crates/system/src/event.rs:
+crates/system/src/machine/mod.rs:
+crates/system/src/machine/cores.rs:
+crates/system/src/machine/dispatch.rs:
+crates/system/src/machine/normal_path.rs:
+crates/system/src/machine/secure_path.rs:
+crates/system/src/metrics.rs:
+crates/system/src/service.rs:
+crates/system/src/stats.rs:
+crates/system/src/timebuf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/satin_telemetry-a561023fedf15c0f.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libsatin_telemetry-a561023fedf15c0f.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libsatin_telemetry-a561023fedf15c0f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/hist.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:

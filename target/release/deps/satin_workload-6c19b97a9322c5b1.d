@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/satin_workload-6c19b97a9322c5b1.d: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+/root/repo/target/release/deps/libsatin_workload-6c19b97a9322c5b1.rlib: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+/root/repo/target/release/deps/libsatin_workload-6c19b97a9322c5b1.rmeta: crates/workload/src/lib.rs crates/workload/src/report.rs crates/workload/src/runner.rs crates/workload/src/suite.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/report.rs:
+crates/workload/src/runner.rs:
+crates/workload/src/suite.rs:
