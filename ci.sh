@@ -17,15 +17,23 @@ cargo clippy -q --workspace --all-targets -- -D warnings
 echo "== rustfmt =="
 cargo fmt --check
 
+echo "== determinism lint =="
+# satin-lint denies wall-clock reads, HashMap/HashSet, stray thread spawns,
+# and unwrap() in library code (see `satin-lint --explain`).
+./target/release/satin-lint --root .
+
 echo "== telemetry smoke =="
 # The exported artifacts must be valid JSON, and the traced race must match
 # the blessed span-count snapshot (same seed, same quick-mode horizon).
-./target/release/repro --seed 42 --trace-out /tmp/satin_trace.json \
-    --metrics-json /tmp/satin_metrics.json > /dev/null
-python3 - <<'EOF'
-import json
-trace = json.load(open("/tmp/satin_trace.json"))
-metrics = json.load(open("/tmp/satin_metrics.json"))
+TRACE_JSON="$(mktemp /tmp/satin_trace.XXXXXX.json)"
+METRICS_JSON="$(mktemp /tmp/satin_metrics.XXXXXX.json)"
+trap 'rm -f "$TRACE_JSON" "$METRICS_JSON"' EXIT INT TERM
+./target/release/repro --seed 42 --trace-out "$TRACE_JSON" \
+    --metrics-json "$METRICS_JSON" > /dev/null
+TRACE_JSON="$TRACE_JSON" METRICS_JSON="$METRICS_JSON" python3 - <<'EOF'
+import json, os
+trace = json.load(open(os.environ["TRACE_JSON"]))
+metrics = json.load(open(os.environ["METRICS_JSON"]))
 sessions = sum(1 for e in trace["traceEvents"] if e.get("name") == "secure.session")
 snap = dict(
     line.split(" ", 1)
@@ -38,5 +46,13 @@ assert metrics["campaigns"] == 3 and metrics["publications"] > 0, metrics
 print(f"telemetry OK: {sessions} sessions traced, "
       f"{metrics['publications']} publications aggregated")
 EOF
+
+echo "== analysis invariants (seeds 7 42 1009) =="
+# Happens-before race detection plus the Eq.1/Eq.2 audit; repro exits
+# nonzero on any violation or nonzero residual.
+for seed in 7 42 1009; do
+    ./target/release/repro --seed "$seed" --analyze > /dev/null
+    echo "seed $seed: clean (0 violations, residuals 0)"
+done
 
 echo "CI OK"

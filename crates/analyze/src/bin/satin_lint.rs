@@ -1,0 +1,94 @@
+//! `satin-lint` — the determinism lint gate.
+//!
+//! Scans `crates/*/src` for banned nondeterminism (wall-clock reads,
+//! unordered-iteration containers, stray thread spawns, `unwrap()` in
+//! library code) and exits nonzero on any finding. See
+//! [`satin_analyze::lint`] for the rules and the `// lint:allow(<rule>)`
+//! escape.
+//!
+//! ```text
+//! satin-lint [--root DIR] [--explain] [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments the whole tree under `--root` (default: the
+//! current directory, or its nearest ancestor containing `crates/`) is
+//! linted. `ci.sh` runs it in this mode as a deny-by-default gate.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use satin_analyze::lint::{lint_paths, lint_tree, LintRule};
+
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn explain() {
+    println!("satin-lint rules:");
+    for rule in LintRule::ALL {
+        println!("  {:<15} {}", rule.as_str(), rule.rationale());
+    }
+    println!("suppress with `// lint:allow(<rule>)` on the same or previous line");
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("satin-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => {
+                explain();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: satin-lint [--root DIR] [--explain] [FILE...]");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = root
+        .or_else(|| find_root(&cwd))
+        .unwrap_or_else(|| cwd.clone());
+
+    let result = if files.is_empty() {
+        lint_tree(&root)
+    } else {
+        lint_paths(&root, &files)
+    };
+    let findings = match result {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("satin-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("satin-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("satin-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

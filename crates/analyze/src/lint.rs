@@ -1,0 +1,454 @@
+//! The determinism lint behind the `satin-lint` binary.
+//!
+//! The reproduction's central promise is that every run is a pure function
+//! of its seed, and the golden-trace snapshots only stay meaningful if the
+//! code never smuggles in ambient nondeterminism. This module scans
+//! `crates/*/src` line-by-line for the four ways that has almost happened:
+//!
+//! - **`wall-clock`** — `Instant::now` / `SystemTime`: real time must never
+//!   reach simulation logic; all time is [`satin_sim`'s] virtual clock.
+//! - **`unordered-iter`** — `HashMap` / `HashSet`: iteration order is
+//!   randomized per-process, so any result derived from it breaks seed
+//!   reproducibility. Use `BTreeMap`/`BTreeSet` or annotate membership-only
+//!   uses.
+//! - **`thread-spawn`** — `thread::spawn` outside the campaign runner: the
+//!   runner is the single sanctioned fan-out point; stray threads make
+//!   aggregation order timing-dependent.
+//! - **`unwrap`** — `.unwrap()` in library code: panics in the sim layers
+//!   abort whole campaigns; library code returns errors or uses `expect`
+//!   with an invariant message. Binaries and test code are exempt.
+//!
+//! A finding is suppressed by `// lint:allow(<rule>)` on the same line or
+//! the line directly above. `#[cfg(test)]` regions (tracked by brace
+//! depth), test-only files (`tests.rs` / `*_tests.rs`, included via
+//! `#[cfg(test)] mod`), comments, doc comments, and string-literal contents
+//! are never linted. The vendored `proptest`/`criterion` stand-ins are
+//! excluded wholesale: they exist to avoid network dependencies and
+//! deliberately wrap wall-clock timing.
+//!
+//! The walk order and output are fully deterministic (sorted paths, line
+//! order), so `ci.sh` can diff lint output across runs.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintRule {
+    /// `Instant::now` / `SystemTime` — real time in simulation code.
+    WallClock,
+    /// `HashMap` / `HashSet` — iteration order is nondeterministic.
+    UnorderedIter,
+    /// `thread::spawn` outside the campaign runner.
+    ThreadSpawn,
+    /// `.unwrap()` in library (non-binary, non-test) code.
+    Unwrap,
+}
+
+impl LintRule {
+    /// Every rule, in report order.
+    pub const ALL: [LintRule; 4] = [
+        LintRule::WallClock,
+        LintRule::UnorderedIter,
+        LintRule::ThreadSpawn,
+        LintRule::Unwrap,
+    ];
+
+    /// The rule's name as used in reports and `lint:allow(...)` escapes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintRule::WallClock => "wall-clock",
+            LintRule::UnorderedIter => "unordered-iter",
+            LintRule::ThreadSpawn => "thread-spawn",
+            LintRule::Unwrap => "unwrap",
+        }
+    }
+
+    /// What the rule guards against, for `--explain`-style output.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            LintRule::WallClock => {
+                "real time must never reach simulation logic; use the virtual clock"
+            }
+            LintRule::UnorderedIter => {
+                "HashMap/HashSet iteration order breaks seed reproducibility; \
+                 use BTreeMap/BTreeSet"
+            }
+            LintRule::ThreadSpawn => {
+                "the campaign runner is the only sanctioned thread fan-out point"
+            }
+            LintRule::Unwrap => {
+                "library code must not panic on recoverable states; \
+                 return an error or expect() with an invariant message"
+            }
+        }
+    }
+
+    fn patterns(self) -> &'static [&'static str] {
+        match self {
+            LintRule::WallClock => &["Instant::now", "SystemTime"],
+            LintRule::UnorderedIter => &["HashMap", "HashSet"],
+            LintRule::ThreadSpawn => &["thread::spawn"],
+            LintRule::Unwrap => &[".unwrap()"],
+        }
+    }
+}
+
+impl fmt::Display for LintRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint hit: file, 1-based line, rule, and the offending line text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Path as reported (relative to the linted root).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: LintRule,
+    /// The source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Vendored dependency stand-ins, excluded from the walk entirely.
+const STUB_CRATES: [&str; 2] = ["criterion", "proptest"];
+
+/// Files allowed to spawn threads (the campaign runner's fan-out point).
+const THREAD_SPAWN_ALLOWLIST: [&str; 1] = ["crates/bench/src/runner.rs"];
+
+/// Splits a source line into its code and comment halves, blanking the
+/// *contents* of string and char literals in the code half so that a banned
+/// pattern quoted inside a string (or a `//` inside a URL literal) can
+/// neither trigger nor mask a finding. Good enough for lint purposes; raw
+/// and multi-line strings are not tracked across lines, but a line that
+/// *begins* mid-string still blanks from its first quote on.
+fn split_code_comment(line: &str) -> (String, &str) {
+    let bytes = line.as_bytes();
+    let mut code: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\\' if in_str => {
+                code.extend_from_slice(b"  "); // escape + escaped byte
+                i += 2;
+                continue;
+            }
+            b'"' => {
+                in_str = !in_str;
+                code.push(b'"');
+            }
+            b'\'' if !in_str => {
+                // Char literal like 'x', '"', or '\\'; lifetimes ('a) have
+                // no closing quote nearby and fall through unblanked.
+                if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    code.extend_from_slice(b"' '");
+                    i += 3;
+                    continue;
+                } else if i + 3 < bytes.len() && bytes[i + 1] == b'\\' && bytes[i + 3] == b'\'' {
+                    code.extend_from_slice(b"'  '");
+                    i += 4;
+                    continue;
+                }
+                code.push(b'\'');
+            }
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let code = String::from_utf8_lossy(&code).into_owned();
+                return (code, &line[i..]);
+            }
+            _ => {
+                code.push(if in_str { b' ' } else { b });
+            }
+        }
+        i += 1;
+    }
+    (String::from_utf8_lossy(&code).into_owned(), "")
+}
+
+fn allows(comment: &str, rule: LintRule) -> bool {
+    comment
+        .find("lint:allow(")
+        .map(|at| {
+            let rest = &comment[at + "lint:allow(".len()..];
+            rest.split(')')
+                .next()
+                .map(|list| list.split(',').any(|r| r.trim() == rule.as_str()))
+                .unwrap_or(false)
+        })
+        .unwrap_or(false)
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Lints one file's source text. `path` is used for reporting and for the
+/// path-based exemptions (binaries skip the `unwrap` rule; the runner may
+/// spawn threads).
+pub fn lint_source(path: &str, source: &str) -> Vec<LintFinding> {
+    let stem = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("");
+    if stem == "tests" || stem.ends_with("_tests") {
+        return Vec::new(); // test-only file, included via #[cfg(test)] mod
+    }
+    let is_bin = path.contains("/bin/") || path.ends_with("/main.rs");
+    let spawn_allowed = THREAD_SPAWN_ALLOWLIST.iter().any(|p| path.ends_with(p));
+
+    let mut findings = Vec::new();
+    let mut prev_comment = String::new();
+    // #[cfg(test)] region tracking: armed until the region's first `{`,
+    // then brace-counted until depth returns to zero.
+    let mut test_armed = false;
+    let mut test_depth: i64 = 0;
+    let mut in_test = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_comment(raw);
+        let trimmed = raw.trim();
+        let is_doc = trimmed.starts_with("///") || trimmed.starts_with("//!");
+
+        if code.contains("#[cfg(test)]") {
+            test_armed = true;
+        }
+        if test_armed && !in_test {
+            let d = brace_delta(&code);
+            if d > 0 || code.contains('{') {
+                in_test = true;
+                test_armed = false;
+                test_depth = d;
+                if test_depth <= 0 {
+                    in_test = false; // single-line item, e.g. `use` glob
+                }
+            }
+        } else if in_test {
+            test_depth += brace_delta(&code);
+            if test_depth <= 0 {
+                in_test = false;
+            }
+        }
+
+        if !in_test && !is_doc && !code.trim().is_empty() {
+            for rule in LintRule::ALL {
+                if rule == LintRule::Unwrap && is_bin {
+                    continue;
+                }
+                if rule == LintRule::ThreadSpawn && spawn_allowed {
+                    continue;
+                }
+                if rule.patterns().iter().any(|p| code.contains(p))
+                    && !allows(comment, rule)
+                    && !allows(&prev_comment, rule)
+                {
+                    findings.push(LintFinding {
+                        path: path.to_string(),
+                        line: idx + 1,
+                        rule,
+                        excerpt: raw.trim().to_string(),
+                    });
+                }
+            }
+        }
+
+        prev_comment = comment.to_string();
+    }
+    findings
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints an explicit file list (paths reported as given, in sorted order).
+pub fn lint_paths(root: &Path, files: &[PathBuf]) -> io::Result<Vec<LintFinding>> {
+    let mut files: Vec<PathBuf> = files.to_vec();
+    files.sort();
+    let mut findings = Vec::new();
+    for f in &files {
+        let source = fs::read_to_string(f)?;
+        let label = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_source(&label, &source));
+    }
+    Ok(findings)
+}
+
+/// Walks `root/crates/*/src` (skipping the vendored stand-ins) and lints
+/// every `.rs` file, in deterministic sorted order.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<LintFinding>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for c in crate_dirs {
+        let name = c.file_name().map(|n| n.to_string_lossy().into_owned());
+        if name.as_deref().is_some_and(|n| STUB_CRATES.contains(&n)) {
+            continue;
+        }
+        let src = c.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    lint_paths(root, &files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str) -> Vec<LintRule> {
+        lint_source("crates/x/src/lib.rs", src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_each_rule() {
+        assert_eq!(
+            rules("let t = std::time::Instant::now();"),
+            vec![LintRule::WallClock]
+        );
+        assert_eq!(
+            rules("use std::collections::HashMap;"),
+            vec![LintRule::UnorderedIter]
+        );
+        assert_eq!(
+            rules("std::thread::spawn(|| {});"),
+            vec![LintRule::ThreadSpawn]
+        );
+        assert_eq!(rules("let v = x.unwrap();"), vec![LintRule::Unwrap]);
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        assert!(rules("let s = HashSet::new(); // lint:allow(unordered-iter)").is_empty());
+    }
+
+    #[test]
+    fn previous_line_allow_suppresses() {
+        let src = "// membership only, never iterated: lint:allow(unordered-iter)\n\
+                   let s = std::collections::HashSet::new();";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        assert_eq!(
+            rules("let v = x.unwrap(); // lint:allow(wall-clock)"),
+            vec![LintRule::Unwrap]
+        );
+    }
+
+    #[test]
+    fn comments_and_doc_comments_are_not_linted() {
+        assert!(rules("// a HashMap would be wrong here").is_empty());
+        assert!(rules("/// Uses Instant::now? No: x.unwrap() discussion.").is_empty());
+        assert!(rules("//! SystemTime is banned.").is_empty());
+    }
+
+    #[test]
+    fn string_literals_hide_comment_markers_but_code_still_lints() {
+        // The `//` inside the string must not hide the unwrap after it.
+        assert_eq!(
+            rules(r#"let u = parse("scheme://host").unwrap();"#),
+            vec![LintRule::Unwrap]
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_skipped() {
+        let src = "\
+pub fn lib() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = Some(1).unwrap();
+        let h = std::collections::HashMap::<u32, u32>::new();
+    }
+}
+let after = Some(1).unwrap();";
+        assert_eq!(rules(src), vec![LintRule::Unwrap]); // only `after`
+    }
+
+    #[test]
+    fn binaries_are_exempt_from_unwrap_only() {
+        let f = lint_source(
+            "crates/x/src/bin/tool.rs",
+            "let v = x.unwrap();\nlet t = Instant::now();",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, LintRule::WallClock);
+    }
+
+    #[test]
+    fn runner_may_spawn_threads() {
+        assert!(rules_at("crates/bench/src/runner.rs", "thread::spawn(body);").is_empty());
+        assert_eq!(
+            rules_at("crates/bench/src/other.rs", "thread::spawn(body);"),
+            vec![LintRule::ThreadSpawn]
+        );
+    }
+
+    fn rules_at(path: &str, src: &str) -> Vec<LintRule> {
+        lint_source(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn finding_display_is_stable() {
+        let f = lint_source("crates/x/src/lib.rs", "let t = Instant::now();");
+        assert_eq!(
+            f[0].to_string(),
+            "crates/x/src/lib.rs:1: [wall-clock] let t = Instant::now();"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Golden "violation" fixtures: two deterministic mark streams with known
+//! causal defects, snapshot-tested against `tests/golden/*.snap`.
+//!
+//! The streams are hand-built (not recorded from a campaign — campaigns are
+//! clean by construction), so the snapshots pin both halves of the
+//! detector's contract: that these defects ARE flagged, and that the
+//! rendered report is byte-stable across refactors.
+//!
+//! Re-bless after an intentional format change with
+//! `SATIN_BLESS=1 cargo test -p satin-analyze --test golden_violations`.
+
+use satin_analyze::{AnalyzeProbe, RaceReport};
+use satin_sim::{Mark, MarkTag, SimObserver, SimTime};
+use std::path::PathBuf;
+
+fn feed(probe: &mut AnalyzeProbe, t_ns: u64, mark: Mark) {
+    probe.on_mark(SimTime::from_nanos(t_ns), &mark);
+}
+
+/// A detection emitted with no publish anywhere in its session's causal
+/// past: the normal world would learn of the alarm before the round's
+/// results exist.
+fn detection_before_publish() -> RaceReport {
+    let (mut probe, handle) = AnalyzeProbe::shared(2);
+    feed(&mut probe, 100, Mark::new(MarkTag::SecureFire, 0));
+    feed(
+        &mut probe,
+        110,
+        Mark::with_args(MarkTag::ScanBegin, 0, 0x1000, 4096),
+    );
+    feed(&mut probe, 9_000, Mark::new(MarkTag::ScanEnd, 0));
+    // Publish never happens; the detection below is acausal.
+    feed(
+        &mut probe,
+        9_500,
+        Mark::with_args(MarkTag::Detection, 0, 9_500, 1),
+    );
+    handle.report()
+}
+
+/// A second scan window opened on a core whose previous window never
+/// closed: one secure world running two scans at once.
+fn overlapping_windows() -> RaceReport {
+    let (mut probe, handle) = AnalyzeProbe::shared(2);
+    feed(&mut probe, 100, Mark::new(MarkTag::SecureFire, 0));
+    feed(
+        &mut probe,
+        110,
+        Mark::with_args(MarkTag::ScanBegin, 0, 0x2000, 8192),
+    );
+    feed(&mut probe, 100, Mark::new(MarkTag::SecureFire, 1));
+    // Core 1 behaves; core 0 re-opens before closing.
+    feed(
+        &mut probe,
+        150,
+        Mark::with_args(MarkTag::ScanBegin, 1, 0x8000, 512),
+    );
+    feed(&mut probe, 700, Mark::new(MarkTag::ScanEnd, 1));
+    feed(
+        &mut probe,
+        900,
+        Mark::with_args(MarkTag::ScanBegin, 0, 0x4000, 8192),
+    );
+    handle.report()
+}
+
+fn check(name: &str, report: &RaceReport) {
+    let rendered = report.render_violations();
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("SATIN_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("writing blessed snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+    assert_eq!(
+        rendered,
+        expected,
+        "\n-- rendered --\n{rendered}\n-- snapshot {} --\n{expected}",
+        path.display()
+    );
+}
+
+#[test]
+fn detection_before_publish_is_detected_and_stable() {
+    let report = detection_before_publish();
+    assert_eq!(report.violations.len(), 1, "{}", report.render_violations());
+    check("detection_before_publish.snap", &report);
+}
+
+#[test]
+fn overlapping_windows_are_detected_and_stable() {
+    let report = overlapping_windows();
+    assert_eq!(report.violations.len(), 1, "{}", report.render_violations());
+    check("overlapping_windows.snap", &report);
+}

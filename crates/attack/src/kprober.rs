@@ -14,7 +14,7 @@ use crate::prober::{deploy_prober_threads, ProberConfig, ProberShared};
 use satin_hw::CoreId;
 use satin_kernel::vector::{VectorSlot, VectorTable};
 use satin_kernel::{Affinity, SchedClass, TaskId};
-use satin_sim::{SimDuration, SimTime, TraceCategory};
+use satin_sim::{MarkTag, SimDuration, SimTime, TraceCategory};
 use satin_system::{RunCtx, RunOutcome, System, TickHook};
 
 /// Which prober implementation to deploy.
@@ -67,7 +67,9 @@ impl TickHook for KProberIHook {
             }
             if let Some(tx) = ctx.read_time_report(x) {
                 let diff = now.saturating_since(tx);
-                self.shared.record(now, x, diff, self.config.threshold);
+                if self.shared.record(now, x, diff, self.config.threshold) {
+                    ctx.mark_args(MarkTag::AttackObserve, x.index() as u64, 0);
+                }
             }
         }
     }

@@ -11,7 +11,7 @@
 use crate::channel::EvaderChannel;
 use satin_hw::CoreId;
 use satin_kernel::{Affinity, SchedClass, TaskId};
-use satin_sim::{SimDuration, SimTime};
+use satin_sim::{MarkTag, SimDuration, SimTime};
 use satin_system::{RunCtx, RunOutcome, System, ThreadBody};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -109,13 +109,15 @@ impl ProberShared {
         self.state.borrow_mut().round_max = SimDuration::ZERO;
     }
 
+    /// Returns `true` when an over-threshold staleness was reported into the
+    /// evader channel (i.e. a detection survived the debounce window).
     pub(crate) fn record(
         &self,
         now: SimTime,
         core: CoreId,
         diff: SimDuration,
         threshold: Option<SimDuration>,
-    ) {
+    ) -> bool {
         let mut s = self.state.borrow_mut();
         s.observations += 1;
         if diff > s.round_max {
@@ -134,9 +136,11 @@ impl ProberShared {
                     s.detections_suppressed_until
                         .insert(core.index(), now + SimDuration::from_millis(5));
                     ch.report_detection(now, core, diff);
+                    return true;
                 }
             }
         }
+        false
     }
 }
 
@@ -166,7 +170,9 @@ impl ThreadBody for ReporterComparerBody {
             }
             if let Some(tx) = ctx.read_time_report(x) {
                 let diff = now.saturating_since(tx);
-                self.shared.record(now, x, diff, self.config.threshold);
+                if self.shared.record(now, x, diff, self.config.threshold) {
+                    ctx.mark_args(MarkTag::AttackObserve, x.index() as u64, 0);
+                }
             }
         }
         busy += ctx.compare_exec_cost(self.watched.len());

@@ -11,7 +11,7 @@ use crate::channel::EvaderChannel;
 use satin_hw::CoreId;
 use satin_kernel::{Affinity, SchedClass, TaskId};
 use satin_mem::layout::GETTID_NR;
-use satin_sim::{SimDuration, SimTime, TraceCategory};
+use satin_sim::{MarkTag, SimDuration, SimTime, TraceCategory};
 use satin_system::{RunCtx, RunOutcome, System, ThreadBody};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -188,6 +188,7 @@ impl RootkitBody {
         i.active_since = Some(ctx.now());
         i.events.push(LifecycleEvent::Installed(ctx.now()));
         drop(i);
+        ctx.mark_args(MarkTag::AttackInstall, addr.value(), 0);
         ctx.trace(
             TraceCategory::AttackInstall,
             format!("hijacked syscall {}", self.config.syscall_nr),
@@ -213,6 +214,7 @@ impl RootkitBody {
         i.last_restore_at = Some(now);
         i.events.push(LifecycleEvent::Restored(now));
         drop(i);
+        ctx.mark_args(MarkTag::AttackRestore, addr.value(), 0);
         ctx.trace(TraceCategory::AttackRestore, "traces cleaned");
     }
 }
@@ -233,6 +235,7 @@ impl RootkitBody {
         }
         self.channel.begin_hide();
         self.phase = Phase::Recovering;
+        ctx.mark(MarkTag::RecoveryBegin);
         ctx.trace(
             TraceCategory::AttackHide,
             format!("recovery started on {}", ctx.core()),

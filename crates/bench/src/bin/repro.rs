@@ -19,6 +19,12 @@
 //! `--metrics-json FILE` writes the merged campaign telemetry (histograms,
 //! span counts) as deterministic JSON — byte-identical for any `--jobs`.
 //! Either flag implies the `telemetry` experiment when none are listed.
+//!
+//! `--analyze` (or the `analysis` experiment) re-runs the detection campaign
+//! with the `satin-analyze` happens-before race detector attached and audits
+//! the recorded mark log against the paper's Eq.1/Eq.2 closed forms; the
+//! process exits nonzero if any violation or nonzero residual is found, so
+//! CI can gate on it.
 
 use satin_bench::{
     ablation, detection, fig7, race, recover, switch, table1, table2, threshold_sweep, userprober,
@@ -34,6 +40,7 @@ struct Opts {
     seed: u64,
     jobs: usize,
     metrics: bool,
+    analyze: bool,
     trace_out: Option<String>,
     metrics_json: Option<String>,
     experiments: Vec<String>,
@@ -50,6 +57,7 @@ fn parse_args() -> Opts {
     let mut seed = DEFAULT_SEED;
     let mut jobs = 1;
     let mut metrics = false;
+    let mut analyze = false;
     let mut trace_out = None;
     let mut metrics_json = None;
     let mut experiments = Vec::new();
@@ -70,6 +78,7 @@ fn parse_args() -> Opts {
                     .unwrap_or_else(|| die("--jobs needs a number (0 = all hardware threads)"));
             }
             "--metrics" => metrics = true,
+            "--analyze" => analyze = true,
             "--trace-out" => {
                 trace_out = Some(
                     args.next()
@@ -84,12 +93,12 @@ fn parse_args() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--seed N] [--jobs N] [--metrics] \
+                    "usage: repro [--full] [--seed N] [--jobs N] [--metrics] [--analyze] \
                      [--trace-out FILE] [--metrics-json FILE] \
                      [table1 switch recover table2 fig4 \
                      affinity race detection fig7 baseline areasweep userprober \
                      preemption portability threshold predictor remediation \
-                     kprobertrace telemetry all]"
+                     kprobertrace telemetry analysis all]"
                 );
                 std::process::exit(0);
             }
@@ -99,8 +108,11 @@ fn parse_args() -> Opts {
     }
     if experiments.is_empty() {
         // Bare --trace-out/--metrics-json means "give me the telemetry
-        // artifacts", not "run everything".
-        if trace_out.is_some() || metrics_json.is_some() {
+        // artifacts", not "run everything"; bare --analyze likewise means
+        // "run the analysis gate".
+        if analyze {
+            experiments.push("analysis".to_string());
+        } else if trace_out.is_some() || metrics_json.is_some() {
             experiments.push("telemetry".to_string());
         } else {
             experiments.push("all".to_string());
@@ -111,6 +123,7 @@ fn parse_args() -> Opts {
         seed,
         jobs,
         metrics,
+        analyze,
         trace_out,
         metrics_json,
         experiments,
@@ -189,6 +202,31 @@ fn main() {
     if want("telemetry") {
         run_telemetry(&opts);
     }
+    if (want("analysis") || opts.analyze) && !run_analysis(&opts) {
+        std::process::exit(1);
+    }
+}
+
+fn run_analysis(o: &Opts) -> bool {
+    use satin_bench::analysis;
+    let base = if o.full {
+        detection::DetectionConfig::paper(o.seed)
+    } else {
+        detection::DetectionConfig::quick(o.seed)
+    };
+    println!(
+        "== Analysis: happens-before race detection + Eq.1/Eq.2 audit \
+         ({} rounds, seed {}) ==",
+        base.rounds, o.seed
+    );
+    let run = analysis::analyze_campaign(base);
+    print!("{}", run.render());
+    if run.is_clean() {
+        println!("analysis: CLEAN\n");
+    } else {
+        println!("analysis: FAILED\n");
+    }
+    run.is_clean()
 }
 
 fn run_telemetry(o: &Opts) {

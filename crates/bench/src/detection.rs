@@ -201,7 +201,7 @@ impl DetectionAggregate {
     }
 }
 
-fn summarize(
+pub(crate) fn summarize(
     handle: &SatinHandle,
     evader: &TzEvader,
     config: DetectionConfig,

@@ -16,6 +16,7 @@
 //! | [`fig7`] | Figure 7 — UnixBench overhead, 1-task and 6-task |
 //! | [`ablation`] | Baseline comparisons and design-choice sweeps |
 //! | [`userprober`] | §III-B1 — user-level prober capability and load sensitivity |
+//! | [`analysis`] | `--analyze` — happens-before race detection + Eq.1/Eq.2 audit |
 //!
 //! [`runner`] is the shared harness: a [`CampaignRunner`] fans independent
 //! seeded campaigns across threads (results in input order, so aggregates
@@ -25,6 +26,7 @@
 //! aggregate and runs the fully-traced race behind `--trace-out`.
 
 pub mod ablation;
+pub mod analysis;
 pub mod detection;
 pub mod fig7;
 pub mod race;
@@ -37,6 +39,7 @@ pub mod telemetry_report;
 pub mod threshold_sweep;
 pub mod userprober;
 
+pub use analysis::{analyze_campaign, AnalysisRun};
 pub use runner::{CampaignRunner, MetricsReport};
 pub use telemetry_report::{run_traced_race, TelemetryReport, TracedRace};
 

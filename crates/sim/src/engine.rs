@@ -118,6 +118,16 @@ impl<E> Simulator<E> {
         self.observer.is_some()
     }
 
+    /// Forwards a semantic [`Mark`] to the installed observer at the current
+    /// simulated time. With no observer installed this is a no-op, so
+    /// components can mark unconditionally without perturbing (or paying
+    /// for) anything.
+    pub fn mark(&mut self, mark: crate::observe::Mark) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_mark(self.now, &mark);
+        }
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Errors

@@ -38,7 +38,7 @@ pub mod trace;
 
 pub use engine::Simulator;
 pub use error::SimError;
-pub use observe::{QueueDepthProbe, SimObserver};
+pub use observe::{Mark, MarkTag, QueueDepthProbe, SimObserver};
 pub use queue::EventQueue;
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};

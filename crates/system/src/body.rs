@@ -8,7 +8,7 @@ use satin_hw::{CoreId, CoreKind};
 use satin_kernel::syscall::SyscallTable;
 use satin_mem::phys::WriteRecord;
 use satin_mem::{KernelLayout, MemError, MemRange, PhysAddr, PhysMemory};
-use satin_sim::{SimDuration, SimRng, SimTime, TraceCategory, TraceLog};
+use satin_sim::{Mark, MarkTag, SimDuration, SimRng, SimTime, TraceCategory, TraceLog};
 
 /// What a task does after its busy period ends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +144,7 @@ pub struct RunCtx<'a> {
     pub(crate) trace: &'a mut TraceLog,
     pub(crate) stats: &'a mut SysStats,
     pub(crate) syscalls: &'a SyscallTable,
+    pub(crate) marks: &'a mut Vec<Mark>,
 }
 
 impl<'a> RunCtx<'a> {
@@ -285,6 +286,26 @@ impl<'a> RunCtx<'a> {
     /// Appends a trace entry.
     pub fn trace(&mut self, category: impl Into<TraceCategory>, detail: impl Into<String>) {
         self.trace.record(self.now, category, detail);
+    }
+
+    /// Emits a semantic [`Mark`] attributed to this activation's core,
+    /// forwarded to the machine's installed [`satin_sim::SimObserver`] when
+    /// the activation returns. With no observer installed marks vanish, so
+    /// task bodies can mark unconditionally — recording never perturbs a
+    /// run (the golden-trace snapshots pin this).
+    pub fn mark(&mut self, tag: MarkTag) {
+        self.mark_args(tag, 0, 0);
+    }
+
+    /// Emits a semantic [`Mark`] with tag-specific arguments (see
+    /// [`MarkTag`] for each variant's argument meaning).
+    pub fn mark_args(&mut self, tag: MarkTag, a: u64, b: u64) {
+        self.marks.push(Mark {
+            tag,
+            core: self.core.index(),
+            a,
+            b,
+        });
     }
 
     fn after_write(&mut self, addr: PhysAddr, bytes: &[u8]) {

@@ -30,6 +30,7 @@ pub mod timebuf;
 
 pub use body::{RunCtx, RunOutcome, Then, ThreadBody};
 pub use builder::SystemBuilder;
+pub use event::SysEvent;
 pub use machine::{ActiveScan, System, TickHook};
 pub use metrics::{CoreMetrics, SysMetrics};
 pub use service::{BootCtx, ScanRequest, SecureCtx, SecureService};

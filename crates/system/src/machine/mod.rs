@@ -102,6 +102,10 @@ pub struct System {
     rng_timing: SimRng,
     rng_secure: SimRng,
     rng_body: SimRng,
+    /// Marks queued by task bodies during an activation, flushed to the sim
+    /// observer when the activation returns (bodies can't borrow the
+    /// simulator while the dispatch loop holds it).
+    mark_buf: Vec<satin_sim::Mark>,
     /// Fraction of CPU time consumed by normal-world interrupt handling
     /// while the secure world runs in *preemptive* mode (GIC with
     /// `SCR_EL3.IRQ = 1`, §II-B). An attacker can drive this up with an
@@ -161,6 +165,7 @@ impl System {
             rng_timing,
             rng_secure,
             rng_body,
+            mark_buf: Vec::new(),
             ns_interrupt_load: 0.0,
         };
         // Arm the periodic scheduler tick on every core.

@@ -46,10 +46,12 @@ impl System {
                     trace: &mut self.trace,
                     stats: &mut self.stats,
                     syscalls: &self.syscalls,
+                    marks: &mut self.mark_buf,
                 };
                 hook.on_tick(&mut ctx);
                 ctx.timing.irq_prober_exec.sample(&mut self.rng_timing)
             };
+            self.flush_marks();
             self.stats.tick_hook_time += cost;
             self.tick_hook = Some(hook);
         }
@@ -160,11 +162,21 @@ impl System {
                 trace: &mut self.trace,
                 stats: &mut self.stats,
                 syscalls: &self.syscalls,
+                marks: &mut self.mark_buf,
             };
             body.on_run(&mut ctx)
         };
+        self.flush_marks();
         self.bodies[idx] = Some(body);
         outcome
+    }
+
+    /// Forwards marks a task body queued during its activation to the sim
+    /// observer, in emission order.
+    fn flush_marks(&mut self) {
+        for m in self.mark_buf.drain(..) {
+            self.sim.mark(m);
+        }
     }
 
     pub(super) fn preempt_current(&mut self, now: SimTime, core: CoreId) {

@@ -7,7 +7,7 @@ use crate::event::SysEvent;
 use crate::service::{ScanRequest, SecureCtx};
 use satin_hw::CoreId;
 use satin_mem::ScanWindow;
-use satin_sim::{SimDuration, SimTime, TraceCategory};
+use satin_sim::{Mark, MarkTag, SimDuration, SimTime, TraceCategory};
 use satin_telemetry::TrackId;
 
 /// The telemetry track a core's spans land on (track *n* = core *n*).
@@ -34,6 +34,7 @@ impl System {
             .set_enabled(satin_hw::World::Secure, false)
             .expect("secure world disables its own timer");
         self.cores[core.index()].timer_gen += 1;
+        self.sim.mark(Mark::new(MarkTag::SecureFire, core.index()));
 
         // The secure interrupt preempts whatever the normal world was doing.
         self.preempt_current(now, core);
@@ -108,6 +109,12 @@ impl System {
                     ),
                 );
                 self.stats.metrics.core_mut(core).scans_started += 1;
+                self.sim.mark(Mark::with_args(
+                    MarkTag::ScanBegin,
+                    core.index(),
+                    request.range.start().value(),
+                    request.range.len(),
+                ));
                 self.telemetry.complete(
                     "scan.window",
                     track(core),
@@ -225,6 +232,7 @@ impl System {
                 self.service = Some(service);
                 self.schedule_rearm(rearm);
             }
+            self.sim.mark(Mark::new(MarkTag::ScanEnd, core.index()));
         }
 
         let switch = self
@@ -264,6 +272,12 @@ impl System {
             resume,
             format!("residency={residency}"),
         );
+        self.sim.mark(Mark::with_args(
+            MarkTag::Publish,
+            core.index(),
+            resume.as_nanos(),
+            0,
+        ));
         if self.stats.alarms > alarms_before {
             self.stats.metrics.record_detection_latency(residency);
             self.telemetry.instant(
@@ -272,6 +286,12 @@ impl System {
                 resume,
                 format!("alarms={}", self.stats.alarms - alarms_before),
             );
+            self.sim.mark(Mark::with_args(
+                MarkTag::Detection,
+                core.index(),
+                resume.as_nanos(),
+                self.stats.alarms - alarms_before,
+            ));
         }
         // The scan streamed through shared cache/DRAM: the interference
         // window opens machine-wide (see TimingModel::post_secure_slowdown),

@@ -108,6 +108,12 @@ impl<E> SimObserver<E> for TelemetrySink {
         }
         s.last_dispatch = Some(time);
     }
+
+    fn on_mark(&mut self, _at: SimTime, mark: &satin_sim::Mark) {
+        let mut s = self.state.borrow_mut();
+        s.counters.incr("sim.marks", 1);
+        s.counters.incr(mark.tag.as_str(), 1);
+    }
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@
 //! | [`core`] | `satin-core` | **SATIN** (the paper's contribution) |
 //! | [`workload`] | `satin-workload` | UnixBench-like overhead suite |
 
+pub use satin_analyze as analyze;
 pub use satin_attack as attack;
 pub use satin_core as core;
 pub use satin_hash as hash;
