@@ -27,7 +27,9 @@ echo "== telemetry smoke =="
 # the blessed span-count snapshot (same seed, same quick-mode horizon).
 TRACE_JSON="$(mktemp /tmp/satin_trace.XXXXXX.json)"
 METRICS_JSON="$(mktemp /tmp/satin_metrics.XXXXXX.json)"
-trap 'rm -f "$TRACE_JSON" "$METRICS_JSON"' EXIT INT TERM
+DEFAULT_OUT="$(mktemp /tmp/satin_default.XXXXXX.txt)"
+SCENARIO_OUT="$(mktemp /tmp/satin_scenario.XXXXXX.txt)"
+trap 'rm -f "$TRACE_JSON" "$METRICS_JSON" "$DEFAULT_OUT" "$SCENARIO_OUT"' EXIT INT TERM
 ./target/release/repro --seed 42 --trace-out "$TRACE_JSON" \
     --metrics-json "$METRICS_JSON" > /dev/null
 TRACE_JSON="$TRACE_JSON" METRICS_JSON="$METRICS_JSON" python3 - <<'EOF'
@@ -46,6 +48,21 @@ assert metrics["campaigns"] == 3 and metrics["publications"] > 0, metrics
 print(f"telemetry OK: {sessions} sessions traced, "
       f"{metrics['publications']} publications aggregated")
 EOF
+
+echo "== scenario smoke =="
+# The registry lists and the descriptors parse.
+./target/release/repro --scenario-list
+# The juno-r1 descriptor is a pure re-description of the built-in Juno
+# constants: selecting it must be byte-identical to the default run.
+./target/release/repro --seed 42 > "$DEFAULT_OUT"
+./target/release/repro --scenario juno-r1 --seed 42 > "$SCENARIO_OUT"
+cmp "$DEFAULT_OUT" "$SCENARIO_OUT"
+echo "juno-r1 descriptor == default run (byte-identical)"
+# A non-Juno platform runs deterministically, pinned against its snapshot
+# (also covered by the workspace test pass; re-run here by name so the
+# smoke fails loudly on its own).
+./target/release/repro --scenario all-little --seed 42 detection > /dev/null
+cargo test -q -p satin-bench --test scenario_golden
 
 echo "== analysis invariants (seeds 7 42 1009) =="
 # Happens-before race detection plus the Eq.1/Eq.2 audit; repro exits

@@ -36,6 +36,30 @@ impl TzEvaderConfig {
             start: SimTime::ZERO,
         }
     }
+
+    /// The configuration a scenario's attack profile describes. All-cores
+    /// probing and default rootkit behaviour, like the paper's evaluation;
+    /// `from_profile(&Scenario::paper().attack)` equals
+    /// [`TzEvaderConfig::paper_default`] exactly.
+    pub fn from_profile(profile: &satin_scenario::AttackProfile) -> Self {
+        use crate::prober::ProbeTargets;
+        use satin_scenario::ProberKind;
+        TzEvaderConfig {
+            prober: match profile.prober {
+                ProberKind::UserLevel => ProberVariant::UserLevel,
+                ProberKind::KProberI => ProberVariant::KProberI,
+                ProberKind::KProberII => ProberVariant::KProberII,
+            },
+            prober_config: ProberConfig {
+                sleep: profile.sleep,
+                threshold: profile.threshold,
+                targets: ProbeTargets::AllCores,
+            },
+            recovery_core: CoreId::new(profile.recovery_core),
+            rootkit: RootkitConfig::default(),
+            start: SimTime::ZERO,
+        }
+    }
 }
 
 /// Handles to a deployed TZ-Evader.
@@ -91,6 +115,29 @@ mod tests {
     use satin_system::{BootCtx, ScanRequest, SecureCtx, SecureService, SystemBuilder};
     use std::cell::RefCell;
     use std::rc::Rc;
+
+    #[test]
+    fn paper_profile_equals_paper_default() {
+        // The juno-r1 scenario's attack profile must describe the exact
+        // paper configuration — down to the nanosecond, since golden traces
+        // depend on it (`SimDuration::from_secs_f64` rounds up, so the
+        // profile stores durations, not float seconds).
+        let from_profile = TzEvaderConfig::from_profile(&satin_scenario::Scenario::paper().attack);
+        assert_eq!(from_profile, TzEvaderConfig::paper_default());
+    }
+
+    #[test]
+    fn profile_variants_map_through() {
+        use satin_scenario::ProberKind;
+        let mut profile = satin_scenario::Scenario::paper().attack;
+        profile.prober = ProberKind::UserLevel;
+        profile.threshold = None;
+        profile.recovery_core = 5;
+        let cfg = TzEvaderConfig::from_profile(&profile);
+        assert_eq!(cfg.prober, ProberVariant::UserLevel);
+        assert_eq!(cfg.prober_config.threshold, None);
+        assert_eq!(cfg.recovery_core, CoreId::new(5));
+    }
 
     /// A naive full-kernel asynchronous introspection: fixed period, random
     /// core, one monolithic scan — the baseline TZ-Evader defeats (§IV-C).

@@ -25,12 +25,19 @@
 //! the recorded mark log against the paper's Eq.1/Eq.2 closed forms; the
 //! process exits nonzero if any violation or nonzero residual is found, so
 //! CI can gate on it.
+//!
+//! `--scenario NAME|FILE` swaps the Juno r1 defaults for a named built-in
+//! scenario (see `--scenario-list`) or a descriptor file parsed by
+//! `satin-scenario`; `table1 switch recover detection telemetry` all run on
+//! the selected platform/attack/defense profile. The `grid` experiment
+//! sweeps the detection campaign over every built-in scenario (or just the
+//! selected one) into a comparative report; it is not part of `all`.
 
 use satin_bench::{
     ablation, detection, fig7, race, recover, switch, table1, table2, threshold_sweep, userprober,
-    CampaignRunner, MetricsReport, DEFAULT_SEED,
+    CampaignRunner, MetricsReport, ScenarioGrid, DEFAULT_SEED,
 };
-use satin_hw::CoreKind;
+use satin_scenario::Scenario;
 use satin_sim::SimDuration;
 use satin_stats::table::{Align, Table};
 use satin_stats::{chart, fmt_percent, fmt_sci, FiveNumber};
@@ -43,12 +50,42 @@ struct Opts {
     analyze: bool,
     trace_out: Option<String>,
     metrics_json: Option<String>,
+    /// The selected scenario (Juno r1 paper defaults unless `--scenario`).
+    scenario: Scenario,
+    /// True when `--scenario` was given explicitly.
+    scenario_set: bool,
     experiments: Vec<String>,
 }
 
 impl Opts {
     fn runner(&self) -> CampaignRunner {
         CampaignRunner::new(self.jobs)
+    }
+}
+
+/// Resolves `--scenario`'s argument: a built-in name first, then a
+/// descriptor file.
+fn load_scenario(arg: &str) -> Scenario {
+    if let Some(sc) = satin_scenario::builtin(arg) {
+        return sc;
+    }
+    let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+        die(&format!(
+            "--scenario {arg}: not a built-in (see --scenario-list) and not a readable file: {e}"
+        ))
+    });
+    satin_scenario::parse_scenario(&text).unwrap_or_else(|e| die(&format!("--scenario {arg}: {e}")))
+}
+
+fn print_scenario_list() {
+    println!("built-in scenarios (usable as `--scenario NAME`):");
+    for sc in satin_scenario::builtins() {
+        println!(
+            "  {:<16} {:<12} {}",
+            sc.name,
+            sc.platform.topology_label(),
+            sc.summary
+        );
     }
 }
 
@@ -60,10 +97,21 @@ fn parse_args() -> Opts {
     let mut analyze = false;
     let mut trace_out = None;
     let mut metrics_json = None;
+    let mut scenario = None;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--scenario" => {
+                let arg = args
+                    .next()
+                    .unwrap_or_else(|| die("--scenario needs a built-in name or a file path"));
+                scenario = Some(load_scenario(&arg));
+            }
+            "--scenario-list" => {
+                print_scenario_list();
+                std::process::exit(0);
+            }
             "--full" => full = true,
             "--seed" => {
                 seed = args
@@ -94,11 +142,12 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--seed N] [--jobs N] [--metrics] [--analyze] \
+                     [--scenario NAME|FILE] [--scenario-list] \
                      [--trace-out FILE] [--metrics-json FILE] \
                      [table1 switch recover table2 fig4 \
                      affinity race detection fig7 baseline areasweep userprober \
                      preemption portability threshold predictor remediation \
-                     kprobertrace telemetry analysis all]"
+                     kprobertrace telemetry analysis grid all]"
                 );
                 std::process::exit(0);
             }
@@ -118,6 +167,7 @@ fn parse_args() -> Opts {
             experiments.push("all".to_string());
         }
     }
+    let scenario_set = scenario.is_some();
     Opts {
         full,
         seed,
@@ -126,6 +176,8 @@ fn parse_args() -> Opts {
         analyze,
         trace_out,
         metrics_json,
+        scenario: scenario.unwrap_or_else(Scenario::paper),
+        scenario_set,
         experiments,
     }
 }
@@ -202,9 +254,39 @@ fn main() {
     if want("telemetry") {
         run_telemetry(&opts);
     }
+    // Grid is a cross-scenario sweep, not a paper artifact, so `all` skips
+    // it — ask for it by name.
+    if opts.experiments.iter().any(|e| e == "grid") {
+        run_grid(&opts);
+    }
     if (want("analysis") || opts.analyze) && !run_analysis(&opts) {
         std::process::exit(1);
     }
+}
+
+fn run_grid(o: &Opts) {
+    let mut grid = if o.scenario_set {
+        ScenarioGrid::new(vec![o.scenario.clone()], o.seed)
+    } else {
+        ScenarioGrid::builtins(o.seed)
+    };
+    if !o.full {
+        // Quick mode shrinks every campaign to one sweep of the 19 areas
+        // over 2 seeds; --full honours each scenario's declared shape.
+        for sc in &mut grid.scenarios {
+            sc.campaign.rounds = 19;
+            sc.campaign.tgoal = SimDuration::from_millis(9_500);
+            sc.campaign.seeds = 2;
+        }
+    }
+    let campaigns: usize = grid.scenarios.iter().map(|s| s.campaign.seeds).sum();
+    println!(
+        "== Grid sweep: detection campaign across {} scenario(s), {} campaigns ==",
+        grid.scenarios.len(),
+        campaigns
+    );
+    print!("{}", grid.run(&o.runner()));
+    println!();
 }
 
 fn run_analysis(o: &Opts) -> bool {
@@ -230,10 +312,10 @@ fn run_analysis(o: &Opts) -> bool {
 }
 
 fn run_telemetry(o: &Opts) {
-    use satin_bench::telemetry_report::{run_traced_race, TelemetryReport};
+    use satin_bench::telemetry_report::{run_traced_race_scenario, TelemetryReport};
     println!("== Telemetry: span timelines and campaign histograms ==");
     let horizon = SimDuration::from_secs(if o.full { 30 } else { 8 });
-    let race = run_traced_race(o.seed, horizon);
+    let race = run_traced_race_scenario(&o.scenario, o.seed, horizon);
     println!(
         "traced race: seed {}, {:.0} s horizon, {} spans / {} instants, {} publications",
         o.seed,
@@ -256,7 +338,7 @@ fn run_telemetry(o: &Opts) {
     };
     base.telemetry = true;
     let seeds: Vec<u64> = (0..3).map(|i| o.seed.wrapping_add(i)).collect();
-    let results = detection::run_many(base, &seeds, &o.runner());
+    let results = detection::run_many_scenario(&o.scenario, base, &seeds, &o.runner());
     let reports: Vec<MetricsReport> = results.iter().map(|r| r.metrics.clone()).collect();
     let report = TelemetryReport::of(&reports);
     print!("{report}");
@@ -530,7 +612,7 @@ fn run_table1(o: &Opts) {
     println!("== TABLE I: Secure World Introspection Time ({rounds} rounds/cell) ==");
     println!("   paper: A53 hash avg 1.07e-8 [9.23e-9, 1.14e-8]; A57 hash avg 6.71e-9 [6.67e-9, 7.50e-9]");
     println!("          A53 snap avg 1.08e-8 [9.24e-9, 1.57e-8]; A57 snap avg 6.75e-9 [6.67e-9, 7.83e-9]");
-    let rows = table1::run(rounds, o.seed);
+    let rows = table1::run_scenario(&o.scenario, rounds, o.seed);
     let mut t = Table::new(vec![
         "Core-Strategy".into(),
         "Average".into(),
@@ -559,8 +641,8 @@ fn run_switch(o: &Opts) {
     println!("   paper: 2.38e-6 .. 3.60e-6 s, similar on A53 and A57");
     let mut t = Table::new(vec!["Core".into(), "Mean".into(), "Model bounds".into()]);
     t.align(1, Align::Right);
-    for kind in [CoreKind::A53, CoreKind::A57] {
-        let s = switch::measure(kind, rounds, o.seed);
+    for kind in o.scenario.platform.kinds_present() {
+        let s = switch::measure_scenario(&o.scenario, kind, rounds, o.seed);
         t.row(vec![
             kind.to_string(),
             format!("{} s", fmt_sci(s.mean, 2)),
@@ -583,8 +665,15 @@ fn run_recover(o: &Opts) {
     for c in 1..=3 {
         t.align(c, Align::Right);
     }
-    for (kind, seed_off) in [(CoreKind::A53, 0u64), (CoreKind::A57, 1)] {
-        let s = recover::measure(kind, rounds, o.seed.wrapping_add(seed_off));
+    // kinds_present() lists A53 before A57, so on Juno the per-kind seed
+    // offsets match the original hard-coded (A53, 0), (A57, 1) pairs.
+    for (seed_off, kind) in o.scenario.platform.kinds_present().into_iter().enumerate() {
+        let s = recover::measure_scenario(
+            &o.scenario,
+            kind,
+            rounds,
+            o.seed.wrapping_add(seed_off as u64),
+        );
         t.row(vec![
             kind.to_string(),
             format!("{} s", fmt_sci(s.mean, 2)),
@@ -690,7 +779,7 @@ fn run_detection(o: &Opts) {
     );
     println!("   paper: 190 rounds, kernel x10, area 14 caught 10/10, prober reports all rounds,");
     println!("          avg area-14 gap ≈141 s, sweep ≈152 s (at tp = 8 s)");
-    let results = detection::run_many(base, &seeds, &o.runner());
+    let results = detection::run_many_scenario(&o.scenario, base, &seeds, &o.runner());
     let mut t = Table::new(vec![
         "Seed".into(),
         "Rounds".into(),

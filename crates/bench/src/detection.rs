@@ -21,6 +21,7 @@ use satin_attack::{TzEvader, TzEvaderConfig};
 use satin_core::satin::RoundRecord;
 use satin_core::{Satin, SatinConfig, SatinHandle};
 use satin_mem::PAPER_SYSCALL_AREA;
+use satin_scenario::Scenario;
 use satin_sim::{SimDuration, SimTime};
 use satin_system::SystemBuilder;
 
@@ -113,17 +114,30 @@ impl DetectionResult {
 }
 
 /// Runs the campaign until SATIN has completed `config.rounds` rounds.
+///
+/// Equivalent to [`run_scenario`] with the `juno-r1` scenario — the
+/// paper's platform, attacker, and defense.
 pub fn run(config: DetectionConfig) -> DetectionResult {
-    let mut satin_cfg = SatinConfig::paper();
+    run_scenario(&Scenario::paper(), config)
+}
+
+/// Runs the campaign on an arbitrary scenario: platform from the
+/// scenario's profile, SATIN from its defense profile (with `config.tgoal`
+/// overriding the goal, as quick campaigns always have), TZ-Evader from
+/// its attack profile. The rootkit still hijacks GETTID, which lives in
+/// area 14 of the paper kernel layout on every platform.
+pub fn run_scenario(scenario: &Scenario, config: DetectionConfig) -> DetectionResult {
+    let mut satin_cfg = SatinConfig::from_profile(&scenario.defense);
     satin_cfg.tgoal = config.tgoal;
     let mut sys = SystemBuilder::new()
         .seed(config.seed)
+        .scenario(scenario)
         .trace(config.trace)
         .telemetry(config.telemetry)
         .build();
     let (satin, handle) = Satin::new(satin_cfg);
     sys.install_secure_service(satin);
-    let evader = TzEvader::deploy(&mut sys, TzEvaderConfig::paper_default());
+    let evader = TzEvader::deploy(&mut sys, TzEvaderConfig::from_profile(&scenario.attack));
 
     let slice = config.tgoal / 19; // one tp
     let hard_stop = SimTime::ZERO + config.tgoal * 40; // safety net
@@ -141,7 +155,19 @@ pub fn run_many(
     seeds: &[u64],
     runner: &CampaignRunner,
 ) -> Vec<DetectionResult> {
-    runner.run_seeds(seeds, |seed| run(DetectionConfig { seed, ..base }))
+    run_many_scenario(&Scenario::paper(), base, seeds, runner)
+}
+
+/// [`run_many`] on an arbitrary scenario.
+pub fn run_many_scenario(
+    scenario: &Scenario,
+    base: DetectionConfig,
+    seeds: &[u64],
+    runner: &CampaignRunner,
+) -> Vec<DetectionResult> {
+    runner.run_seeds(seeds, |seed| {
+        run_scenario(scenario, DetectionConfig { seed, ..base })
+    })
 }
 
 /// Fleet-level aggregates over a batch of campaigns.

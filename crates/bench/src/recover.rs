@@ -10,18 +10,42 @@
 use satin_attack::channel::EvaderChannel;
 use satin_attack::rootkit::{deploy_rootkit, RootkitConfig};
 use satin_hw::{CoreId, CoreKind};
+use satin_scenario::Scenario;
 use satin_sim::{SimDuration, SimTime};
 use satin_stats::Summary;
 use satin_system::SystemBuilder;
 
-/// Measures `Tns_recover` on a core of `kind` over `rounds` hide cycles.
-/// Returns the recovery-latency summary in seconds.
+/// Measures `Tns_recover` on a core of `kind` over `rounds` hide cycles on
+/// the paper's platform. Returns the recovery-latency summary in seconds.
 pub fn measure(kind: CoreKind, rounds: usize, seed: u64) -> Summary {
-    let core = match kind {
-        CoreKind::A57 => CoreId::new(0),
-        CoreKind::A53 => CoreId::new(4),
+    measure_scenario(&Scenario::paper(), kind, rounds, seed)
+}
+
+/// [`measure`] on an arbitrary scenario's platform.
+///
+/// # Panics
+///
+/// Panics if the scenario's platform has no core of `kind`.
+pub fn measure_scenario(scenario: &Scenario, kind: CoreKind, rounds: usize, seed: u64) -> Summary {
+    // On Juno the original picks were core 0 (first A57) and core 4 (third
+    // A53); preserve them, falling back to the first core of the kind on
+    // platforms with fewer cores.
+    let nth = match kind {
+        CoreKind::A57 => 0,
+        CoreKind::A53 => 2,
     };
-    let mut sys = SystemBuilder::new().seed(seed).trace(false).build();
+    let core = CoreId::new(
+        scenario
+            .platform
+            .nth_core_of_kind(kind, nth)
+            .or_else(|| scenario.platform.nth_core_of_kind(kind, 0))
+            .expect("scenario platform has no core of the requested kind"),
+    );
+    let mut sys = SystemBuilder::new()
+        .seed(seed)
+        .scenario(scenario)
+        .trace(false)
+        .build();
     let channel = EvaderChannel::new();
     let config = RootkitConfig {
         quiet_before_reinstall: SimDuration::from_millis(5),

@@ -8,6 +8,7 @@
 //! `(residency − 1 µs) / 2`.
 
 use satin_hw::{CoreId, CoreKind};
+use satin_scenario::Scenario;
 use satin_sim::{SimDuration, SimTime};
 use satin_stats::Summary;
 use satin_system::{BootCtx, ScanRequest, SecureCtx, SecureService, SystemBuilder};
@@ -43,15 +44,35 @@ impl SecureService for NoScanService {
     }
 }
 
-/// Measures `Ts_switch` on a core of `kind` over `rounds` world switches.
-/// Returns the per-switch latency summary in seconds.
+/// Measures `Ts_switch` on a core of `kind` over `rounds` world switches
+/// on the paper's platform. Returns the per-switch latency summary in
+/// seconds.
 pub fn measure(kind: CoreKind, rounds: usize, seed: u64) -> Summary {
-    let core = match kind {
-        CoreKind::A57 => CoreId::new(1),
-        CoreKind::A53 => CoreId::new(3),
-    };
+    measure_scenario(&Scenario::paper(), kind, rounds, seed)
+}
+
+/// [`measure`] on an arbitrary scenario's platform.
+///
+/// # Panics
+///
+/// Panics if the scenario's platform has no core of `kind`.
+pub fn measure_scenario(scenario: &Scenario, kind: CoreKind, rounds: usize, seed: u64) -> Summary {
+    // Second core of the requested kind when the platform has one (on Juno:
+    // core 1 for A57, core 3 for A53 — the original hard-coded picks),
+    // falling back to the first on smaller platforms.
+    let core = CoreId::new(
+        scenario
+            .platform
+            .nth_core_of_kind(kind, 1)
+            .or_else(|| scenario.platform.nth_core_of_kind(kind, 0))
+            .expect("scenario platform has no core of the requested kind"),
+    );
     let period = SimDuration::from_millis(1);
-    let mut sys = SystemBuilder::new().seed(seed).trace(false).build();
+    let mut sys = SystemBuilder::new()
+        .seed(seed)
+        .scenario(scenario)
+        .trace(false)
+        .build();
     sys.install_secure_service(NoScanService {
         core,
         period,
@@ -68,11 +89,12 @@ pub fn measure(kind: CoreKind, rounds: usize, seed: u64) -> Summary {
     // report the measured mean and the model's bounds.
     let mean_residency = tsp.residency.as_secs_f64() / tsp.invocations as f64;
     let mean_switch = (mean_residency - 1e-6) / 2.0;
+    let (ts_min, ts_max) = scenario.platform.ts_switch_secs;
     Summary {
         count: tsp.invocations,
         mean: mean_switch,
-        min: 2.38e-6,
-        max: 3.60e-6,
+        min: ts_min,
+        max: ts_max,
         stddev: 0.0,
     }
 }

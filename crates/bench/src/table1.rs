@@ -13,6 +13,7 @@
 use satin_hw::timing::ScanStrategy;
 use satin_hw::{CoreId, CoreKind};
 use satin_mem::PAPER_KERNEL_SIZE;
+use satin_scenario::Scenario;
 use satin_sim::{SimDuration, SimTime};
 use satin_stats::Summary;
 use satin_system::{BootCtx, ScanRequest, SecureCtx, SecureService, SystemBuilder};
@@ -76,15 +77,39 @@ impl SecureService for FullScanService {
     }
 }
 
-/// Measures one (kind, strategy) cell over `rounds` full-kernel scans.
+/// Measures one (kind, strategy) cell over `rounds` full-kernel scans on
+/// the paper's platform.
 pub fn measure_cell(kind: CoreKind, strategy: ScanStrategy, rounds: usize, seed: u64) -> Table1Row {
-    // Core 0 is A57, core 2 is A53 on the Juno topology.
-    let core = match kind {
-        CoreKind::A57 => CoreId::new(0),
-        CoreKind::A53 => CoreId::new(2),
-    };
+    measure_cell_scenario(&Scenario::paper(), kind, strategy, rounds, seed)
+}
+
+/// [`measure_cell`] on an arbitrary scenario's platform.
+///
+/// # Panics
+///
+/// Panics if the scenario's platform has no core of `kind` — iterate
+/// `scenario.platform.kinds_present()` to stay safe.
+pub fn measure_cell_scenario(
+    scenario: &Scenario,
+    kind: CoreKind,
+    strategy: ScanStrategy,
+    rounds: usize,
+    seed: u64,
+) -> Table1Row {
+    // First core of the requested kind — on Juno that is core 0 for A57 and
+    // core 2 for A53, matching the original hard-coded picks.
+    let core = CoreId::new(
+        scenario
+            .platform
+            .nth_core_of_kind(kind, 0)
+            .expect("scenario platform has no core of the requested kind"),
+    );
     let durations = Rc::new(RefCell::new(Vec::new()));
-    let mut sys = SystemBuilder::new().seed(seed).trace(false).build();
+    let mut sys = SystemBuilder::new()
+        .seed(seed)
+        .scenario(scenario)
+        .trace(false)
+        .build();
     let period = SimDuration::from_millis(200);
     sys.install_secure_service(FullScanService {
         core,
@@ -110,12 +135,21 @@ pub fn measure_cell(kind: CoreKind, strategy: ScanStrategy, rounds: usize, seed:
     }
 }
 
-/// The full Table I: all four (kind, strategy) cells.
+/// The full Table I: all four (kind, strategy) cells on the paper's
+/// platform.
 pub fn run(rounds: usize, seed: u64) -> Vec<Table1Row> {
+    run_scenario(&Scenario::paper(), rounds, seed)
+}
+
+/// [`run`] on an arbitrary scenario: one row per (present core kind,
+/// strategy) pair, so homogeneous platforms produce two rows, not four.
+pub fn run_scenario(scenario: &Scenario, rounds: usize, seed: u64) -> Vec<Table1Row> {
     let mut rows = Vec::new();
-    for kind in [CoreKind::A53, CoreKind::A57] {
+    for kind in scenario.platform.kinds_present() {
         for strategy in ScanStrategy::ALL {
-            rows.push(measure_cell(kind, strategy, rounds, seed));
+            rows.push(measure_cell_scenario(
+                scenario, kind, strategy, rounds, seed,
+            ));
         }
     }
     rows

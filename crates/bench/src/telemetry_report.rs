@@ -16,6 +16,7 @@
 use crate::runner::MetricsReport;
 use satin_attack::{TzEvader, TzEvaderConfig};
 use satin_core::{Satin, SatinConfig};
+use satin_scenario::Scenario;
 use satin_sim::{SimDuration, SimTime, TraceLog};
 use satin_stats::hist::render_count_rows;
 use satin_system::SystemBuilder;
@@ -192,19 +193,32 @@ impl TracedRace {
 }
 
 /// Runs one instrumented SATIN-vs-TZ-Evader race for `horizon` of simulated
-/// time. Pure function of `seed` — and telemetry is pure observation — so
-/// the exported trace is byte-identical across runs and job counts.
+/// time on the paper's platform. Pure function of `seed` — and telemetry is
+/// pure observation — so the exported trace is byte-identical across runs
+/// and job counts.
 pub fn run_traced_race(seed: u64, horizon: SimDuration) -> TracedRace {
-    let mut cfg = SatinConfig::paper();
+    run_traced_race_scenario(&Scenario::paper(), seed, horizon)
+}
+
+/// [`run_traced_race`] on an arbitrary scenario: the platform, attacker and
+/// defense configs all come from the descriptor (the accelerated tp = 1 s
+/// pace is kept, as the trace is meant to show several rounds).
+pub fn run_traced_race_scenario(
+    scenario: &Scenario,
+    seed: u64,
+    horizon: SimDuration,
+) -> TracedRace {
+    let mut cfg = SatinConfig::from_profile(&scenario.defense);
     cfg.tgoal = SimDuration::from_secs(19); // tp = 1 s over 19 areas
     let mut sys = SystemBuilder::new()
         .seed(seed)
+        .scenario(scenario)
         .trace(true)
         .telemetry(true)
         .build();
     let (satin, _handle) = Satin::new(cfg);
     sys.install_secure_service(satin);
-    let _evader = TzEvader::deploy(&mut sys, TzEvaderConfig::paper_default());
+    let _evader = TzEvader::deploy(&mut sys, TzEvaderConfig::from_profile(&scenario.attack));
     sys.run_until(SimTime::ZERO + horizon);
     let metrics = MetricsReport::capture(&sys);
     TracedRace {

@@ -83,6 +83,31 @@ impl SatinConfig {
         }
     }
 
+    /// The configuration a scenario's defense profile describes.
+    /// `from_profile(&Scenario::paper().defense)` equals [`SatinConfig::paper`]
+    /// exactly — the juno-r1 profile is the source of the paper defaults.
+    pub fn from_profile(profile: &satin_scenario::DefenseProfile) -> Self {
+        use satin_scenario::{AreaPolicySpec, CorePolicySpec};
+        SatinConfig {
+            tgoal: profile.tgoal,
+            algorithm: profile.algorithm,
+            strategy: profile.strategy,
+            randomize_wake: profile.randomize_wake,
+            core_policy: match profile.core_policy {
+                CorePolicySpec::AllRandom => CorePolicy::AllRandom,
+                CorePolicySpec::Fixed(core) => CorePolicy::Fixed(CoreId::new(core)),
+            },
+            area_policy: match profile.area_policy {
+                AreaPolicySpec::Segments => AreaPolicy::Segments,
+                AreaPolicySpec::Greedy(max_size) => AreaPolicy::Greedy { max_size },
+                AreaPolicySpec::Monolithic => AreaPolicy::Monolithic,
+            },
+            tns_delay_secs: profile.tns_delay_secs,
+            enforce_safety: profile.enforce_safety,
+            remediate: profile.remediate,
+        }
+    }
+
     /// Builds the area plan this configuration implies for `layout`.
     ///
     /// # Errors
@@ -379,6 +404,25 @@ impl SecureService for Satin {
 mod tests {
     use super::*;
     use satin_system::SystemBuilder;
+
+    #[test]
+    fn paper_profile_equals_paper_config() {
+        // The juno-r1 defense profile is the source of truth for the paper
+        // defaults; drifting apart would silently change every campaign.
+        let from_profile = SatinConfig::from_profile(&satin_scenario::Scenario::paper().defense);
+        assert_eq!(from_profile, SatinConfig::paper());
+    }
+
+    #[test]
+    fn profile_policies_map_through() {
+        use satin_scenario::{AreaPolicySpec, CorePolicySpec};
+        let mut profile = satin_scenario::Scenario::paper().defense;
+        profile.core_policy = CorePolicySpec::Fixed(2);
+        profile.area_policy = AreaPolicySpec::Greedy(500_000);
+        let cfg = SatinConfig::from_profile(&profile);
+        assert_eq!(cfg.core_policy, CorePolicy::Fixed(CoreId::new(2)));
+        assert_eq!(cfg.area_policy, AreaPolicy::Greedy { max_size: 500_000 });
+    }
 
     #[test]
     fn validates_paper_config() {

@@ -24,6 +24,7 @@ pub mod error;
 pub mod gic;
 pub mod monitor;
 pub mod platform;
+pub mod profile;
 pub mod timers;
 pub mod timing;
 pub mod topology;
@@ -31,6 +32,7 @@ pub mod world;
 
 pub use error::HwError;
 pub use platform::Platform;
+pub use profile::{CoreCalibration, PlatformSpec, RoutingKind, TriSpec};
 pub use timing::TimingModel;
 pub use topology::{CoreId, CoreKind, Topology};
 pub use world::{ExceptionLevel, World};

@@ -36,13 +36,11 @@ pub struct Platform {
 
 impl Platform {
     /// The paper's evaluation platform: Juno r1 with the calibrated timing
-    /// model and SATIN's non-preemptive interrupt routing.
+    /// model and SATIN's non-preemptive interrupt routing. Equivalent to
+    /// `Platform::from_profile(&PlatformSpec::juno_r1())` — the built-in
+    /// profile is the single source of truth for this platform.
     pub fn juno_r1() -> Self {
-        Self::new(
-            Topology::juno_r1(),
-            TimingModel::paper_calibrated(),
-            RoutingConfig::satin(),
-        )
+        Self::from_profile(&crate::profile::PlatformSpec::juno_r1())
     }
 
     /// A custom platform.

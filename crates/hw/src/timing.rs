@@ -90,6 +90,11 @@ impl ScanStrategy {
             ScanStrategy::SnapshotThenHash => "snapshot",
         }
     }
+
+    /// Parses a display name (scenario descriptors use these).
+    pub fn from_name(name: &str) -> Option<Self> {
+        ScanStrategy::ALL.into_iter().find(|s| s.name() == name)
+    }
 }
 
 impl std::fmt::Display for ScanStrategy {
@@ -108,6 +113,12 @@ pub struct CoreProfile {
     /// Total time for the rootkit to recover one attacking trace
     /// (`Tns_recover`, §IV-B2).
     pub recover: Triangular,
+    /// Relative single-thread throughput of the core kind, with the fastest
+    /// kind = 1.0. Used by the normal-world workload model to scale
+    /// executed work per core. The paper calibration derives A53 = 0.63
+    /// from Table I's per-byte hash rates (6.71e-9 / 1.07e-8 ≈ 0.63); this
+    /// used to live as a magic constant on `CoreKind` itself.
+    pub relative_speed: f64,
 }
 
 /// The complete calibrated timing model for the simulated platform.
@@ -167,11 +178,13 @@ impl TimingModel {
                 hash_1byte: Triangular::from_min_mean_max(9.23e-9, 1.07e-8, 1.14e-8),
                 snapshot_1byte: Triangular::from_min_mean_max(9.24e-9, 1.08e-8, 1.57e-8),
                 recover: Triangular::from_min_mean_max(5.20e-3, 5.80e-3, 6.13e-3),
+                relative_speed: 0.63,
             },
             a57: CoreProfile {
                 hash_1byte: Triangular::from_min_mean_max(6.67e-9, 6.71e-9, 7.50e-9),
                 snapshot_1byte: Triangular::from_min_mean_max(6.67e-9, 6.75e-9, 7.83e-9),
                 recover: Triangular::from_min_mean_max(4.40e-3, 4.96e-3, 5.60e-3),
+                relative_speed: 1.0,
             },
             rt_dispatch_jitter: HeavyTail::new(
                 Exponential::new(3e-6, 1.5e-5),
@@ -198,6 +211,11 @@ impl TimingModel {
             CoreKind::A53 => &self.a53,
             CoreKind::A57 => &self.a57,
         }
+    }
+
+    /// Relative single-thread throughput of `kind` (fastest kind = 1.0).
+    pub fn relative_speed(&self, kind: CoreKind) -> f64 {
+        self.profile(kind).relative_speed
     }
 
     /// Draws a world-switch cost (`Ts_switch`).

@@ -49,6 +49,9 @@ pub enum CoreKind {
 }
 
 impl CoreKind {
+    /// Both kinds, in LITTLE-to-big order.
+    pub const ALL: [CoreKind; 2] = [CoreKind::A53, CoreKind::A57];
+
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -57,16 +60,21 @@ impl CoreKind {
         }
     }
 
-    /// Relative single-thread throughput of the core kind, with A57 = 1.0.
-    /// Calibrated from the paper's Table I per-byte rates
-    /// (6.71e-9 / 1.07e-8 ≈ 0.63).
-    pub fn relative_speed(self) -> f64 {
-        match self {
-            CoreKind::A53 => 0.63,
-            CoreKind::A57 => 1.0,
-        }
+    /// Parses a display name (case-insensitive, so scenario files may write
+    /// `a53` or `A53`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        CoreKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
     }
 }
+
+// NOTE: `CoreKind::relative_speed()` used to live here as a pair of magic
+// constants (A53 → 0.63, A57 → 1.0, derived from Table I's per-byte hash
+// rates: 6.71e-9 / 1.07e-8 ≈ 0.63). Relative throughput is a *calibration*,
+// not an architectural fact, so it now lives in the timing model
+// (`TimingModel::relative_speed` / `CoreProfile::relative_speed`) where
+// platform profiles can override it.
 
 impl fmt::Display for CoreKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -4,14 +4,18 @@ use crate::machine::System;
 use satin_hw::Platform;
 use satin_kernel::KernelConfig;
 use satin_mem::KernelLayout;
+use satin_scenario::Scenario;
 use satin_sim::{RngFactory, TraceLog};
 use satin_telemetry::Timeline;
 
 /// Builder for a [`System`].
 ///
-/// Defaults reproduce the paper's evaluation platform: a Juno r1 with the
-/// calibrated timing model, the 19-segment kernel layout, an lsk-4.4-like
-/// kernel configuration, and tracing enabled.
+/// Defaults reproduce the paper's evaluation platform — the `juno-r1`
+/// scenario profile (Juno r1 with the calibrated timing model), the
+/// 19-segment kernel layout, an lsk-4.4-like kernel configuration, and
+/// tracing enabled. `SystemBuilder::new()` and
+/// `SystemBuilder::new().scenario(&Scenario::paper())` build identical
+/// systems.
 ///
 /// # Example
 ///
@@ -60,6 +64,14 @@ impl SystemBuilder {
     pub fn platform(mut self, platform: Platform) -> Self {
         self.platform = platform;
         self
+    }
+
+    /// Applies a scenario: the platform is rebuilt from the scenario's
+    /// profile. Attacker and defense profiles live above this crate and are
+    /// consumed by `TzEvaderConfig::from_profile` and
+    /// `SatinConfig::from_profile`; the builder only owns the hardware.
+    pub fn scenario(self, scenario: &Scenario) -> Self {
+        self.platform(Platform::from_profile(&scenario.platform))
     }
 
     /// Replaces the kernel layout.
@@ -128,7 +140,7 @@ impl Default for SystemBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use satin_hw::{CoreKind, Topology};
+    use satin_hw::CoreKind;
 
     #[test]
     fn default_is_juno() {
@@ -139,15 +151,71 @@ mod tests {
     }
 
     #[test]
-    fn custom_platform() {
-        let p = Platform::new(
-            Topology::homogeneous(CoreKind::A53, 2),
-            satin_hw::TimingModel::paper_calibrated(),
-            satin_hw::gic::RoutingConfig::satin(),
-        );
-        let s = SystemBuilder::new().platform(p).trace(false).build();
+    fn custom_platform_from_scenario_profile() {
+        // Derive the 2-core A53 variant from the juno-r1 profile instead of
+        // assembling a Topology inline: the profile stays the single source
+        // of timing/routing truth and only the core list changes.
+        let mut sc = Scenario::paper();
+        sc.platform.cores = vec![CoreKind::A53; 2];
+        let s = SystemBuilder::new().scenario(&sc).trace(false).build();
         assert_eq!(s.num_cores(), 2);
+        assert!(s
+            .platform()
+            .topology()
+            .cores()
+            .all(|c| s.platform().core_kind(c) == CoreKind::A53));
         assert!(!s.trace().is_enabled());
+    }
+
+    #[test]
+    fn builder_defaults_equal_juno_profile() {
+        // The regression the scenario layer must never break: plain
+        // `new()` and the juno-r1 profile describe the same machine,
+        // field for field.
+        let plain = SystemBuilder::new().build();
+        let via_scenario = SystemBuilder::new().scenario(&Scenario::paper()).build();
+        let spec = Scenario::paper().platform;
+        for (p, label) in [(&plain, "new()"), (&via_scenario, "scenario()")] {
+            let p = p.platform();
+            assert_eq!(p.topology(), &spec.topology(), "{label}: topology");
+            assert_eq!(
+                format!("{:?}", p.timing()),
+                format!("{:?}", spec.timing_model()),
+                "{label}: timing model"
+            );
+            assert_eq!(p.gic().config(), spec.routing.config(), "{label}: routing");
+        }
+        assert_eq!(plain.layout().num_segments(), 19);
+    }
+
+    #[test]
+    fn scenario_build_is_byte_identical_to_default() {
+        // Same seed, same workload: the juno-r1 scenario must replay the
+        // default build's trace event for event.
+        let run = |via_scenario: bool| {
+            let b = SystemBuilder::new().seed(7);
+            let b = if via_scenario {
+                b.scenario(&Scenario::paper())
+            } else {
+                b
+            };
+            let mut s = b.build();
+            use satin_kernel::{Affinity, SchedClass};
+            use satin_sim::{SimDuration, SimTime};
+            let t = s.spawn(
+                "w",
+                SchedClass::cfs(),
+                Affinity::any(6),
+                |ctx: &mut crate::RunCtx<'_>| {
+                    let d = ctx.publish_time_report();
+                    crate::RunOutcome::sleep_after(d, SimDuration::from_micros(100))
+                },
+            );
+            s.wake_at(t, SimTime::ZERO);
+            s.run_until(SimTime::from_millis(10));
+            s.trace().render(None)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -253,7 +253,7 @@ impl System {
             end,
             pollution_until,
             slowdown,
-            kind.relative_speed(),
+            t.relative_speed(kind),
         );
     }
 }

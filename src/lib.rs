@@ -58,6 +58,7 @@
 //! | [`secure`] | `satin-secure` | TSP, secure storage, boot measurement |
 //! | [`system`] | `satin-system` | The machine: event loop over both worlds |
 //! | [`telemetry`] | `satin-telemetry` | Spans, histograms, Chrome/JSONL exporters |
+//! | [`scenario`] | `satin-scenario` | Declarative platform/attack/defense profiles |
 //! | [`attack`] | `satin-attack` | TZ-Evader: probers, rootkit, race math |
 //! | [`core`] | `satin-core` | **SATIN** (the paper's contribution) |
 //! | [`workload`] | `satin-workload` | UnixBench-like overhead suite |
@@ -69,6 +70,7 @@ pub use satin_hash as hash;
 pub use satin_hw as hw;
 pub use satin_kernel as kernel;
 pub use satin_mem as mem;
+pub use satin_scenario as scenario;
 pub use satin_secure as secure;
 pub use satin_sim as sim;
 pub use satin_stats as stats;
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use satin_hw::{CoreId, CoreKind, Platform};
     pub use satin_kernel::{Affinity, SchedClass};
     pub use satin_mem::KernelLayout;
+    pub use satin_scenario::Scenario;
     pub use satin_sim::{SimDuration, SimTime};
     pub use satin_system::{RunCtx, RunOutcome, System, SystemBuilder, ThreadBody};
 }

@@ -21,7 +21,22 @@ const SEEDS: [u64; 3] = [7, 42, 1009];
 /// exercising every event variant (ticks, wakes, dispatch, preemption,
 /// secure fire/done) with tracing on.
 fn run_scenario(seed: u64) -> String {
-    let mut sys = SystemBuilder::new().seed(seed).build();
+    run_campaign(seed, SystemBuilder::new().seed(seed))
+}
+
+/// The same campaign with the platform derived from the default scenario
+/// descriptor instead of the built-in Juno constants.
+fn run_scenario_via_profile(seed: u64) -> String {
+    run_campaign(
+        seed,
+        SystemBuilder::new()
+            .seed(seed)
+            .scenario(&satin::scenario::Scenario::paper()),
+    )
+}
+
+fn run_campaign(seed: u64, builder: SystemBuilder) -> String {
+    let mut sys = builder.build();
     let mut cfg = SatinConfig::paper();
     cfg.tgoal = SimDuration::from_secs(19); // tp = 1 s over 19 areas
     let (satin, handle) = Satin::new(cfg);
@@ -133,4 +148,18 @@ fn golden_trace_streams_match_snapshots() {
 fn golden_scenario_is_self_deterministic() {
     // Independent of the recorded snapshots: two in-process runs agree.
     assert_eq!(run_scenario(7), run_scenario(7));
+}
+
+#[test]
+fn scenario_built_machine_matches_snapshots() {
+    // The scenario layer is a pure re-description of the Juno constants:
+    // building through `Scenario::paper()` must reproduce the recorded
+    // golden traces byte for byte, for every pinned seed.
+    for seed in SEEDS {
+        let got = run_scenario_via_profile(seed);
+        let want = std::fs::read_to_string(snapshot_path(seed)).unwrap_or_else(|e| {
+            panic!("missing snapshot for seed {seed} ({e}); run with GOLDEN_BLESS=1")
+        });
+        assert_eq!(got, want, "seed {seed}: scenario-built trace diverged");
+    }
 }
