@@ -64,6 +64,47 @@ echo "juno-r1 descriptor == default run (byte-identical)"
 ./target/release/repro --scenario all-little --seed 42 detection > /dev/null
 cargo test -q -p satin-bench --test scenario_golden
 
+echo "== error-hardening lint =="
+# The hardened crates (ISSUE 5) must not grow new unwrap()/panic! in
+# library code: satin-lint already denies unwrap() workspace-wide; this
+# grep additionally denies panic!() outside #[cfg(test)] modules in the
+# hardened crates. (expect() with an invariant message stays allowed.)
+HARDENED="crates/mem/src crates/secure/src crates/core/src crates/scenario/src crates/faults/src"
+VIOLATIONS="$(
+    for dir in $HARDENED; do
+        # Strip each file at its `mod tests` line so test modules don't count.
+        find "$dir" -name '*.rs' | while read -r f; do
+            sed '/mod tests/q' "$f" | grep -n 'panic!(' /dev/null /dev/stdin \
+                | sed "s|^/dev/stdin|$f|" || true
+        done
+    done
+)"
+if [ -n "$VIOLATIONS" ]; then
+    echo "new panic!() in hardened crate library code:" >&2
+    echo "$VIOLATIONS" >&2
+    exit 1
+fi
+echo "hardened crates: no panic!() in library code"
+
+echo "== fault-injection smoke (seed 42) =="
+# The acceptance campaign: the smoke plan drops one publication on every
+# seed and aborts seed 42 past its retry budget; the run must not panic,
+# must salvage seed 42 as a FAILED row naming the injected abort, and must
+# be byte-identical for any --jobs value.
+FAULTS_1="$(mktemp /tmp/satin_faults1.XXXXXX.txt)"
+FAULTS_4="$(mktemp /tmp/satin_faults4.XXXXXX.txt)"
+trap 'rm -f "$TRACE_JSON" "$METRICS_JSON" "$DEFAULT_OUT" "$SCENARIO_OUT" "$FAULTS_1" "$FAULTS_4"' EXIT INT TERM
+./target/release/repro --seed 42 --faults smoke --jobs 1 faults > "$FAULTS_1"
+./target/release/repro --seed 42 --faults smoke --jobs 4 faults > "$FAULTS_4"
+grep -q '^selected *42 *FAILED' "$FAULTS_1"
+grep -q 'worker abort' "$FAULTS_1"
+# Drop the header line (it prints the worker count) before comparing.
+tail -n +2 "$FAULTS_1" > "$FAULTS_1.body" && mv "$FAULTS_1.body" "$FAULTS_1"
+tail -n +2 "$FAULTS_4" > "$FAULTS_4.body" && mv "$FAULTS_4.body" "$FAULTS_4"
+cmp "$FAULTS_1" "$FAULTS_4"
+echo "fault smoke OK: seed 42 salvaged as FAILED, report jobs-invariant"
+cargo test -q -p satin-bench --test fault_golden
+
 echo "== analysis invariants (seeds 7 42 1009) =="
 # Happens-before race detection plus the Eq.1/Eq.2 audit; repro exits
 # nonzero on any violation or nonzero residual.

@@ -149,7 +149,7 @@ mod tests {
     }
 
     impl SecureService for NaiveIntrospection {
-        fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
+        fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), satin_system::SatinError> {
             let mem = ctx.mem();
             let range = ctx.layout().range();
             let mut table = satin_hash::AuthorizedHashTable::new(satin_hash::HashAlgorithm::Djb2);
@@ -162,6 +162,7 @@ mod tests {
             let n = ctx.num_cores() as u64;
             let core = CoreId::new(ctx.rng().below(n) as usize);
             ctx.arm_core(core, SimTime::ZERO + self.period).unwrap();
+            Ok(())
         }
 
         fn on_secure_timer(

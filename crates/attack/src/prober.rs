@@ -386,9 +386,10 @@ mod tests {
 
         struct OneScan;
         impl SecureService for OneScan {
-            fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
+            fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), satin_system::SatinError> {
                 ctx.arm_core(CoreId::new(4), SimTime::from_millis(20))
                     .unwrap();
+                Ok(())
             }
             fn on_secure_timer(
                 &mut self,

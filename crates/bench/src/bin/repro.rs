@@ -32,12 +32,21 @@
 //! the selected platform/attack/defense profile. The `grid` experiment
 //! sweeps the detection campaign over every built-in scenario (or just the
 //! selected one) into a comparative report; it is not part of `all`.
+//!
+//! `--faults NAME|FILE` attaches a fault plan (built-in `none`/`smoke`/
+//! `chaos`, or a `[faults]` descriptor file) to the selected scenario. The
+//! `faults` experiment runs the detection campaign over seeds {7, 42, 1009}
+//! under each plan of the fault axis (the attached plan, or all built-ins
+//! when none was given) through the salvaging runner: an aborted seed is
+//! reported as a structured `failed` row — with its error, after its
+//! retries — instead of killing the batch, and the report is byte-identical
+//! for any `--jobs`. Neither flag nor experiment is part of `all`.
 
 use satin_bench::{
     ablation, detection, fig7, race, recover, switch, table1, table2, threshold_sweep, userprober,
     CampaignRunner, MetricsReport, ScenarioGrid, DEFAULT_SEED,
 };
-use satin_scenario::Scenario;
+use satin_scenario::{FaultPlan, Scenario};
 use satin_sim::SimDuration;
 use satin_stats::table::{Align, Table};
 use satin_stats::{chart, fmt_percent, fmt_sci, FiveNumber};
@@ -54,6 +63,9 @@ struct Opts {
     scenario: Scenario,
     /// True when `--scenario` was given explicitly.
     scenario_set: bool,
+    /// True when `--faults` was given explicitly (the plan itself lives in
+    /// `scenario.faults`).
+    faults_set: bool,
     experiments: Vec<String>,
 }
 
@@ -77,6 +89,20 @@ fn load_scenario(arg: &str) -> Scenario {
     satin_scenario::parse_scenario(&text).unwrap_or_else(|e| die(&format!("--scenario {arg}: {e}")))
 }
 
+/// Resolves `--faults`'s argument: a built-in plan name first, then a
+/// `[faults]` descriptor file.
+fn load_fault_plan(arg: &str) -> FaultPlan {
+    if let Some(plan) = satin_scenario::builtin_fault_plan(arg) {
+        return plan;
+    }
+    let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+        die(&format!(
+            "--faults {arg}: not a built-in (none, smoke, chaos) and not a readable file: {e}"
+        ))
+    });
+    satin_scenario::parse_fault_plan(&text).unwrap_or_else(|e| die(&format!("--faults {arg}: {e}")))
+}
+
 fn print_scenario_list() {
     println!("built-in scenarios (usable as `--scenario NAME`):");
     for sc in satin_scenario::builtins() {
@@ -98,6 +124,7 @@ fn parse_args() -> Opts {
     let mut trace_out = None;
     let mut metrics_json = None;
     let mut scenario = None;
+    let mut faults = None;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -111,6 +138,12 @@ fn parse_args() -> Opts {
             "--scenario-list" => {
                 print_scenario_list();
                 std::process::exit(0);
+            }
+            "--faults" => {
+                let arg = args.next().unwrap_or_else(|| {
+                    die("--faults needs a built-in plan name (none, smoke, chaos) or a file path")
+                });
+                faults = Some(load_fault_plan(&arg));
             }
             "--full" => full = true,
             "--seed" => {
@@ -142,12 +175,12 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--seed N] [--jobs N] [--metrics] [--analyze] \
-                     [--scenario NAME|FILE] [--scenario-list] \
+                     [--scenario NAME|FILE] [--scenario-list] [--faults NAME|FILE] \
                      [--trace-out FILE] [--metrics-json FILE] \
                      [table1 switch recover table2 fig4 \
                      affinity race detection fig7 baseline areasweep userprober \
                      preemption portability threshold predictor remediation \
-                     kprobertrace telemetry analysis grid all]"
+                     kprobertrace telemetry analysis grid faults all]"
                 );
                 std::process::exit(0);
             }
@@ -158,16 +191,24 @@ fn parse_args() -> Opts {
     if experiments.is_empty() {
         // Bare --trace-out/--metrics-json means "give me the telemetry
         // artifacts", not "run everything"; bare --analyze likewise means
-        // "run the analysis gate".
+        // "run the analysis gate", and bare --faults means "run the fault
+        // campaign".
         if analyze {
             experiments.push("analysis".to_string());
         } else if trace_out.is_some() || metrics_json.is_some() {
             experiments.push("telemetry".to_string());
+        } else if faults.is_some() {
+            experiments.push("faults".to_string());
         } else {
             experiments.push("all".to_string());
         }
     }
     let scenario_set = scenario.is_some();
+    let faults_set = faults.is_some();
+    let mut scenario = scenario.unwrap_or_else(Scenario::paper);
+    if let Some(plan) = faults {
+        scenario.faults = plan;
+    }
     Opts {
         full,
         seed,
@@ -176,8 +217,9 @@ fn parse_args() -> Opts {
         analyze,
         trace_out,
         metrics_json,
-        scenario: scenario.unwrap_or_else(Scenario::paper),
+        scenario,
         scenario_set,
+        faults_set,
         experiments,
     }
 }
@@ -255,9 +297,12 @@ fn main() {
         run_telemetry(&opts);
     }
     // Grid is a cross-scenario sweep, not a paper artifact, so `all` skips
-    // it — ask for it by name.
+    // it — ask for it by name. Same for the fault campaign.
     if opts.experiments.iter().any(|e| e == "grid") {
         run_grid(&opts);
+    }
+    if opts.experiments.iter().any(|e| e == "faults") {
+        run_faults(&opts);
     }
     if (want("analysis") || opts.analyze) && !run_analysis(&opts) {
         std::process::exit(1);
@@ -270,6 +315,14 @@ fn run_grid(o: &Opts) {
     } else {
         ScenarioGrid::builtins(o.seed)
     };
+    for sc in &mut grid.scenarios {
+        if !sc.faults.is_empty() {
+            // The grid's runner has no salvage path; the `faults`
+            // experiment is the fault-aware sweep.
+            println!("   (note: grid ignores the fault plan; use the `faults` experiment)");
+            sc.faults = FaultPlan::default();
+        }
+    }
     if !o.full {
         // Quick mode shrinks every campaign to one sweep of the 19 areas
         // over 2 seeds; --full honours each scenario's declared shape.
@@ -287,6 +340,84 @@ fn run_grid(o: &Opts) {
     );
     print!("{}", grid.run(&o.runner()));
     println!();
+}
+
+/// The fault campaign's canonical seeds: 42 is the seed the built-in
+/// `smoke`/`chaos` plans abort, 7 and 1009 prove its neighbours survive.
+const FAULT_SEEDS: [u64; 3] = [7, 42, 1009];
+
+fn run_faults(o: &Opts) {
+    // The fault axis: the attached plan when `--faults` (or the scenario
+    // file) gave one, otherwise every built-in plan.
+    let plans: Vec<(&str, FaultPlan)> = if o.faults_set || !o.scenario.faults.is_empty() {
+        vec![("selected", o.scenario.faults)]
+    } else {
+        ["none", "smoke", "chaos"]
+            .into_iter()
+            .map(|n| {
+                let plan = satin_scenario::builtin_fault_plan(n).expect("built-in fault plan");
+                (n, plan)
+            })
+            .collect()
+    };
+    let base = if o.full {
+        detection::DetectionConfig::paper(o.seed)
+    } else {
+        detection::DetectionConfig::quick(o.seed)
+    };
+    println!(
+        "== Fault campaign: detection under injected faults ({} plan(s) x seeds {:?}) ==",
+        plans.len(),
+        FAULT_SEEDS
+    );
+    println!("   (failed seeds salvage as rows, not panics; byte-identical for any --jobs)");
+    let mut t = Table::new(vec![
+        "Plan".into(),
+        "Seed".into(),
+        "Outcome".into(),
+        "Attempts".into(),
+        "Rounds".into(),
+        "Detected".into(),
+        "Faults".into(),
+        "Error".into(),
+    ]);
+    for c in 1..=6 {
+        t.align(c, Align::Right);
+    }
+    let mut salvaged = 0usize;
+    for (name, plan) in &plans {
+        let mut sc = o.scenario.clone();
+        sc.faults = *plan;
+        let outcomes = detection::run_many_faulted(&sc, base, &FAULT_SEEDS, &o.runner());
+        for out in &outcomes {
+            salvaged += out.is_failed() as usize;
+            let (status, rounds, detected, faults) = match out.value() {
+                Some(r) => (
+                    "ok",
+                    r.rounds.to_string(),
+                    r.area14_detections.to_string(),
+                    r.metrics.faults_injected().to_string(),
+                ),
+                None => ("FAILED", "-".into(), "-".into(), "-".into()),
+            };
+            t.row(vec![
+                name.to_string(),
+                out.seed().to_string(),
+                status.into(),
+                out.attempts().to_string(),
+                rounds,
+                detected,
+                faults,
+                out.error().unwrap_or("-").to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "{} campaign(s), {} salvaged as failed rows\n",
+        plans.len() * FAULT_SEEDS.len(),
+        salvaged
+    );
 }
 
 fn run_analysis(o: &Opts) -> bool {
@@ -338,7 +469,12 @@ fn run_telemetry(o: &Opts) {
     };
     base.telemetry = true;
     let seeds: Vec<u64> = (0..3).map(|i| o.seed.wrapping_add(i)).collect();
-    let results = detection::run_many_scenario(&o.scenario, base, &seeds, &o.runner());
+    // The traced race above keeps the fault plan (fault instants land in
+    // the timeline); the aggregate fleet drops it so an injected abort
+    // can't kill the merge — the `faults` experiment owns salvage.
+    let mut campaign_scenario = o.scenario.clone();
+    campaign_scenario.faults = FaultPlan::default();
+    let results = detection::run_many_scenario(&campaign_scenario, base, &seeds, &o.runner());
     let reports: Vec<MetricsReport> = results.iter().map(|r| r.metrics.clone()).collect();
     let report = TelemetryReport::of(&reports);
     print!("{report}");
@@ -761,6 +897,11 @@ fn run_race(o: &Opts) {
 }
 
 fn run_detection(o: &Opts) {
+    if !o.scenario.faults.is_empty() {
+        // A fault plan can abort seeds mid-campaign; route through the
+        // salvaging runner so those surface as rows, not panics.
+        return run_faults(o);
+    }
     let mut base = if o.full {
         detection::DetectionConfig::paper(o.seed)
     } else {

@@ -16,14 +16,14 @@
 //! are uniform over `[0, 2·tp]`) are the only source of idle checks; at the
 //! paper's tp = 8 s they are rare.
 
-use crate::runner::{CampaignRunner, MetricsReport};
+use crate::runner::{CampaignRunner, MetricsReport, RetryPolicy, SeedOutcome};
 use satin_attack::{TzEvader, TzEvaderConfig};
 use satin_core::satin::RoundRecord;
 use satin_core::{Satin, SatinConfig, SatinHandle};
 use satin_mem::PAPER_SYSCALL_AREA;
 use satin_scenario::Scenario;
 use satin_sim::{SimDuration, SimTime};
-use satin_system::SystemBuilder;
+use satin_system::{SatinError, SystemBuilder};
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,25 +127,47 @@ pub fn run(config: DetectionConfig) -> DetectionResult {
 /// its attack profile. The rootkit still hijacks GETTID, which lives in
 /// area 14 of the paper kernel layout on every platform.
 pub fn run_scenario(scenario: &Scenario, config: DetectionConfig) -> DetectionResult {
+    try_run_scenario(scenario, config, 1)
+        .expect("campaign failed; fault-injected scenarios go through run_many_faulted")
+}
+
+/// [`run_scenario`] with structured failure: a fault-injected worker abort
+/// or a boot error surfaces as a [`SatinError`] instead of a panic.
+/// `attempt` is the 1-based retry attempt (faults with an attempt budget
+/// stand down once it is exceeded).
+///
+/// # Errors
+///
+/// Any [`SatinError`] raised during boot or by the fault injector's
+/// scheduled worker abort.
+pub fn try_run_scenario(
+    scenario: &Scenario,
+    config: DetectionConfig,
+    attempt: u32,
+) -> Result<DetectionResult, SatinError> {
     let mut satin_cfg = SatinConfig::from_profile(&scenario.defense);
     satin_cfg.tgoal = config.tgoal;
     let mut sys = SystemBuilder::new()
         .seed(config.seed)
         .scenario(scenario)
+        .fault_attempt(attempt)
         .trace(config.trace)
         .telemetry(config.telemetry)
         .build();
     let (satin, handle) = Satin::new(satin_cfg);
-    sys.install_secure_service(satin);
+    sys.try_install_secure_service(satin)?;
     let evader = TzEvader::deploy(&mut sys, TzEvaderConfig::from_profile(&scenario.attack));
 
     let slice = config.tgoal / 19; // one tp
     let hard_stop = SimTime::ZERO + config.tgoal * 40; // safety net
     while handle.round_count() < config.rounds && sys.now() < hard_stop {
         sys.run_for(slice);
+        // A scheduled worker abort lands between run slices: the partial
+        // simulation is discarded and the seed reports a failed row.
+        sys.check_fault_abort()?;
     }
     let metrics = MetricsReport::capture(&sys);
-    summarize(&handle, &evader, config, sys.now(), metrics)
+    Ok(summarize(&handle, &evader, config, sys.now(), metrics))
 }
 
 /// Runs one campaign per seed through `runner`, returning results in seed
@@ -167,6 +189,23 @@ pub fn run_many_scenario(
 ) -> Vec<DetectionResult> {
     runner.run_seeds(seeds, |seed| {
         run_scenario(scenario, DetectionConfig { seed, ..base })
+    })
+}
+
+/// [`run_many_scenario`] with the scenario's fault plan armed: each seed is
+/// retried per the plan's `max-attempts`/`backoff-ms`, and a seed whose
+/// every attempt fails (e.g. an injected worker abort with a large attempt
+/// budget) comes back as a [`SeedOutcome::Failed`] row — the batch itself
+/// never panics. Output is identical for any worker count.
+pub fn run_many_faulted(
+    scenario: &Scenario,
+    base: DetectionConfig,
+    seeds: &[u64],
+    runner: &CampaignRunner,
+) -> Vec<SeedOutcome<DetectionResult>> {
+    let policy = RetryPolicy::from_plan(&scenario.faults);
+    runner.run_seeds_with_retry(seeds, policy, |seed, attempt| {
+        try_run_scenario(scenario, DetectionConfig { seed, ..base }, attempt)
     })
 }
 

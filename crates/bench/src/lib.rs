@@ -42,7 +42,7 @@ pub mod threshold_sweep;
 pub mod userprober;
 
 pub use analysis::{analyze_campaign, AnalysisRun};
-pub use runner::{CampaignRunner, MetricsReport};
+pub use runner::{CampaignRunner, MetricsReport, RetryPolicy, SeedOutcome};
 pub use scenario_grid::{ScenarioGrid, ScenarioGridReport, ScenarioOutcome};
 pub use telemetry_report::{
     run_traced_race, run_traced_race_scenario, TelemetryReport, TracedRace,

@@ -8,11 +8,13 @@
 //! order, independent of worker count or scheduling**, so aggregates
 //! computed over them are identical for `--jobs 1` and `--jobs N`.
 
+use satin_scenario::FaultPlan;
 use satin_system::System;
 use satin_telemetry::DurationHistogram;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Fans independent campaigns across `std::thread` workers.
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +97,159 @@ impl CampaignRunner {
     {
         self.run(seeds, |&s| f(s))
     }
+
+    /// [`run_seeds`](CampaignRunner::run_seeds) for fallible campaigns:
+    /// each seed is attempted up to `policy.max_attempts` times (with a
+    /// bounded wall-clock backoff between attempts), and a seed whose every
+    /// attempt fails yields a structured [`SeedOutcome::Failed`] row instead
+    /// of aborting the batch. `f` receives the 1-based attempt number so a
+    /// fault injector with an attempt budget can stand down on retries.
+    ///
+    /// Result order — and, because injected faults are pure functions of
+    /// (seed, attempt), result *content* — is identical for any worker
+    /// count.
+    pub fn run_seeds_with_retry<T, E, F>(
+        &self,
+        seeds: &[u64],
+        policy: RetryPolicy,
+        f: F,
+    ) -> Vec<SeedOutcome<T>>
+    where
+        T: Send,
+        E: fmt::Display,
+        F: Fn(u64, u32) -> Result<T, E> + Sync,
+    {
+        let max = policy.max_attempts.max(1);
+        self.run_seeds(seeds, |seed| {
+            let mut attempt = 1u32;
+            loop {
+                match f(seed, attempt) {
+                    Ok(value) => {
+                        return SeedOutcome::Ok {
+                            seed,
+                            attempts: attempt,
+                            value,
+                        }
+                    }
+                    Err(e) if attempt >= max => {
+                        return SeedOutcome::Failed {
+                            seed,
+                            attempts: attempt,
+                            error: e.to_string(),
+                        }
+                    }
+                    Err(_) => {
+                        // Bounded linear backoff: per-sleep capped at 1 s and
+                        // the attempt count is bounded, so a retry storm
+                        // cannot hang the batch.
+                        let pause = policy
+                            .backoff
+                            .saturating_mul(attempt)
+                            .min(Duration::from_secs(1));
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                        attempt += 1;
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// Bounded retry for fallible (typically fault-injected) campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per seed (at least 1).
+    pub max_attempts: u32,
+    /// Base wall-clock pause between attempts (grows linearly with the
+    /// attempt number, capped at 1 s per pause).
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// One attempt, no backoff — failures surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// The retry policy a fault plan asks for (`max-attempts` /
+    /// `backoff-ms` keys of the `[faults]` section).
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        RetryPolicy {
+            max_attempts: plan.max_attempts.max(1),
+            backoff: Duration::from_millis(plan.backoff_ms),
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// One seed's campaign outcome under [`CampaignRunner::run_seeds_with_retry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedOutcome<T> {
+    /// The campaign completed, possibly after retries.
+    Ok {
+        /// The campaign seed.
+        seed: u64,
+        /// Attempts used (1 = first try).
+        attempts: u32,
+        /// The campaign's result.
+        value: T,
+    },
+    /// Every attempt failed; the batch carries the row instead of aborting.
+    Failed {
+        /// The campaign seed.
+        seed: u64,
+        /// Attempts used (= the policy's `max_attempts`).
+        attempts: u32,
+        /// The last attempt's error, rendered.
+        error: String,
+    },
+}
+
+impl<T> SeedOutcome<T> {
+    /// The campaign seed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            SeedOutcome::Ok { seed, .. } | SeedOutcome::Failed { seed, .. } => *seed,
+        }
+    }
+
+    /// Attempts used.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            SeedOutcome::Ok { attempts, .. } | SeedOutcome::Failed { attempts, .. } => *attempts,
+        }
+    }
+
+    /// The result, if the campaign completed.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            SeedOutcome::Ok { value, .. } => Some(value),
+            SeedOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The rendered error, if every attempt failed.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            SeedOutcome::Ok { .. } => None,
+            SeedOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// `true` for a [`SeedOutcome::Failed`] row.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, SeedOutcome::Failed { .. })
+    }
 }
 
 impl Default for CampaignRunner {
@@ -152,6 +307,14 @@ pub struct MetricsReport {
     /// Telemetry span counts by name (empty unless the system was built
     /// with telemetry on).
     pub span_counts: BTreeMap<String, u64>,
+    /// Injected scheduler-jitter spikes (0 in clean runs).
+    pub fault_jitter_spikes: u64,
+    /// Injected publication drops.
+    pub fault_publications_dropped: u64,
+    /// Injected publication delays.
+    pub fault_publications_delayed: u64,
+    /// Injected hash-window corruptions.
+    pub fault_windows_corrupted: u64,
 }
 
 impl MetricsReport {
@@ -186,7 +349,19 @@ impl MetricsReport {
                 .into_iter()
                 .map(|(name, n)| (name.to_string(), n))
                 .collect(),
+            fault_jitter_spikes: sys.fault_stats().map_or(0, |s| s.jitter_spikes),
+            fault_publications_dropped: sys.fault_stats().map_or(0, |s| s.publications_dropped),
+            fault_publications_delayed: sys.fault_stats().map_or(0, |s| s.publications_delayed),
+            fault_windows_corrupted: sys.fault_stats().map_or(0, |s| s.windows_corrupted),
         }
+    }
+
+    /// Total injected faults that actually fired in this run.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_jitter_spikes
+            + self.fault_publications_dropped
+            + self.fault_publications_delayed
+            + self.fault_windows_corrupted
     }
 
     /// Mean publication delay (secure-timer fire to normal-world resume),
@@ -231,6 +406,10 @@ impl MetricsReport {
             for (name, n) in &r.span_counts {
                 *out.span_counts.entry(name.clone()).or_insert(0) += n;
             }
+            out.fault_jitter_spikes += r.fault_jitter_spikes;
+            out.fault_publications_dropped += r.fault_publications_dropped;
+            out.fault_publications_delayed += r.fault_publications_delayed;
+            out.fault_windows_corrupted += r.fault_windows_corrupted;
         }
         out
     }
@@ -276,6 +455,18 @@ impl fmt::Display for MetricsReport {
         }
         if !self.detection_latency_hist.is_empty() {
             writeln!(f, "detection latency: {}", self.detection_latency_hist)?;
+        }
+        // Clean runs print nothing here, keeping pre-fault reports (and
+        // their golden snapshots) byte-identical.
+        if self.faults_injected() > 0 {
+            writeln!(
+                f,
+                "injected faults: {} jitter spikes, {} publications dropped, {} delayed, {} windows corrupted",
+                self.fault_jitter_spikes,
+                self.fault_publications_dropped,
+                self.fault_publications_delayed,
+                self.fault_windows_corrupted
+            )?;
         }
         Ok(())
     }

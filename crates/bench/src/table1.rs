@@ -42,9 +42,9 @@ struct FullScanService {
 }
 
 impl SecureService for FullScanService {
-    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
-        ctx.arm_core(self.core, SimTime::ZERO + self.period)
-            .expect("benchmark core exists and boot arm time is in the future");
+    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), satin_system::SatinError> {
+        ctx.arm_core(self.core, SimTime::ZERO + self.period)?;
+        Ok(())
     }
 
     fn on_secure_timer(&mut self, _core: CoreId, ctx: &mut SecureCtx<'_>) -> Option<ScanRequest> {

@@ -6,7 +6,7 @@
 //! small area should be smaller than
 //! `(Tns_delay + Tns_recover − Ts_switch) / Ts_1byte` bytes."
 
-use crate::error::SatinError;
+use crate::error::PlanError;
 use satin_hw::TimingModel;
 use satin_mem::{KernelLayout, MemRange};
 use satin_sim::SimRng;
@@ -76,15 +76,15 @@ impl AreaPlan {
     ///
     /// # Errors
     ///
-    /// [`SatinError::AreaTooLarge`] if a single section already exceeds
+    /// [`PlanError::AreaTooLarge`] if a single section already exceeds
     /// `max_size` (sections are indivisible by the paper's rule).
-    pub fn greedy(layout: &KernelLayout, max_size: u64) -> Result<Self, SatinError> {
+    pub fn greedy(layout: &KernelLayout, max_size: u64) -> Result<Self, PlanError> {
         let mut areas: Vec<Area> = Vec::new();
         let mut current: Option<MemRange> = None;
         for s in layout.sections() {
             let r = s.range();
             if r.len() > max_size {
-                return Err(SatinError::AreaTooLarge {
+                return Err(PlanError::AreaTooLarge {
                     area: areas.len(),
                     size: r.len(),
                     bound: max_size,
@@ -164,14 +164,14 @@ impl AreaPlan {
     ///
     /// # Errors
     ///
-    /// [`SatinError::EmptyPlan`] or [`SatinError::AreaTooLarge`].
-    pub fn validate(&self, bound: u64) -> Result<(), SatinError> {
+    /// [`PlanError::EmptyPlan`] or [`PlanError::AreaTooLarge`].
+    pub fn validate(&self, bound: u64) -> Result<(), PlanError> {
         if self.areas.is_empty() {
-            return Err(SatinError::EmptyPlan);
+            return Err(PlanError::EmptyPlan);
         }
         for a in &self.areas {
             if a.range.len() > bound {
-                return Err(SatinError::AreaTooLarge {
+                return Err(PlanError::AreaTooLarge {
                     area: a.id,
                     size: a.range.len(),
                     bound,
@@ -275,7 +275,7 @@ mod tests {
         let plan = AreaPlan::monolithic(&KernelLayout::paper());
         let bound = max_safe_area_size(&TimingModel::paper_calibrated(), 2e-4 + 1.8e-3);
         let err = plan.validate(bound).unwrap_err();
-        assert!(matches!(err, SatinError::AreaTooLarge { area: 0, .. }));
+        assert!(matches!(err, PlanError::AreaTooLarge { area: 0, .. }));
     }
 
     #[test]
@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn empty_validation() {
         let plan = AreaPlan { areas: vec![] };
-        assert_eq!(plan.validate(100), Err(SatinError::EmptyPlan));
+        assert_eq!(plan.validate(100), Err(PlanError::EmptyPlan));
         assert!(plan.is_empty());
     }
 

@@ -13,7 +13,7 @@ use satin_hash::HashAlgorithm;
 use satin_hw::timing::ScanStrategy;
 use satin_hw::CoreId;
 use satin_sim::{SimDuration, SimTime};
-use satin_system::{BootCtx, ScanRequest, SecureCtx, SecureService};
+use satin_system::{BootCtx, SatinError, ScanRequest, SecureCtx, SecureService};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -129,10 +129,9 @@ impl NaiveIntrospection {
 }
 
 impl SecureService for NaiveIntrospection {
-    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
+    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), SatinError> {
         let plan = AreaPlan::monolithic(ctx.layout());
-        let checker = IntegrityChecker::measure_at_boot(ctx.mem(), &plan, HashAlgorithm::Djb2)
-            .expect("boot measurement");
+        let checker = IntegrityChecker::measure_at_boot(ctx.mem(), &plan, HashAlgorithm::Djb2)?;
         self.num_cores = ctx.num_cores();
         self.inner.borrow_mut().checker = Some(checker);
         let policy = self.wake_policy();
@@ -143,8 +142,9 @@ impl SecureService for NaiveIntrospection {
             CoreId::new(0)
         };
         let first = first.max_of(SimTime::from_micros(1));
-        ctx.arm_core(core, first).expect("core exists");
+        ctx.arm_core(core, first)?;
         self.plan = Some(plan);
+        Ok(())
     }
 
     fn on_secure_timer(&mut self, _core: CoreId, _ctx: &mut SecureCtx<'_>) -> Option<ScanRequest> {

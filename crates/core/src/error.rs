@@ -6,7 +6,7 @@ use std::fmt;
 /// Errors raised while validating a SATIN configuration.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
-pub enum SatinError {
+pub enum PlanError {
     /// An introspection area exceeds the safety bound of §V-B, re-opening
     /// the evasion window within that area.
     AreaTooLarge {
@@ -28,22 +28,31 @@ pub enum SatinError {
     },
 }
 
-impl fmt::Display for SatinError {
+impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SatinError::AreaTooLarge { area, size, bound } => write!(
+            PlanError::AreaTooLarge { area, size, bound } => write!(
                 f,
                 "area {area} is {size} bytes, above the safe bound of {bound} bytes"
             ),
-            SatinError::EmptyPlan => write!(f, "area plan has no areas"),
-            SatinError::InfeasibleGoal { tgoal_secs, areas } => {
+            PlanError::EmptyPlan => write!(f, "area plan has no areas"),
+            PlanError::InfeasibleGoal { tgoal_secs, areas } => {
                 write!(f, "coverage goal of {tgoal_secs}s cannot fit {areas} areas")
             }
         }
     }
 }
 
-impl Error for SatinError {}
+impl Error for PlanError {}
+
+impl From<PlanError> for satin_system::SatinError {
+    fn from(e: PlanError) -> Self {
+        satin_system::SatinError::Boot {
+            stage: "area plan",
+            detail: e.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -51,12 +60,12 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = SatinError::AreaTooLarge {
+        let e = PlanError::AreaTooLarge {
             area: 3,
             size: 2_000_000,
             bound: 1_218_351,
         };
         assert!(e.to_string().contains("1218351"));
-        assert!(SatinError::EmptyPlan.to_string().contains("no areas"));
+        assert!(PlanError::EmptyPlan.to_string().contains("no areas"));
     }
 }

@@ -33,6 +33,6 @@ pub mod satin;
 pub mod sync;
 
 pub use areas::{Area, AreaPlan, KernelAreaSet};
-pub use error::SatinError;
+pub use error::PlanError;
 pub use integrity::{Alarm, IntegrityChecker};
 pub use satin::{CorePolicy, Satin, SatinConfig, SatinHandle};

@@ -2,7 +2,7 @@
 
 use crate::activation::WakePolicy;
 use crate::areas::{max_safe_area_size, AreaPlan, KernelAreaSet};
-use crate::error::SatinError;
+use crate::error::PlanError;
 use crate::integrity::{Alarm, AreaCoverage, IntegrityChecker};
 use crate::queue::WakeQueue;
 use satin_hash::HashAlgorithm;
@@ -11,7 +11,7 @@ use satin_hw::{CoreId, TimingModel, World};
 use satin_mem::KernelLayout;
 use satin_secure::SecureStorage;
 use satin_sim::{SimDuration, SimTime};
-use satin_system::{BootCtx, ScanRequest, SecureCtx, SecureService};
+use satin_system::{BootCtx, SatinError, ScanRequest, SecureCtx, SecureService};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -112,8 +112,8 @@ impl SatinConfig {
     ///
     /// # Errors
     ///
-    /// Propagates [`SatinError`] from greedy packing.
-    pub fn build_plan(&self, layout: &KernelLayout) -> Result<AreaPlan, SatinError> {
+    /// Propagates [`PlanError`] from greedy packing.
+    pub fn build_plan(&self, layout: &KernelLayout) -> Result<AreaPlan, PlanError> {
         match self.area_policy {
             AreaPolicy::Segments => Ok(AreaPlan::from_segments(layout)),
             AreaPolicy::Greedy { max_size } => AreaPlan::greedy(layout, max_size),
@@ -126,14 +126,14 @@ impl SatinConfig {
     ///
     /// # Errors
     ///
-    /// [`SatinError`] describing the violated constraint.
-    pub fn validate(&self, layout: &KernelLayout, timing: &TimingModel) -> Result<(), SatinError> {
+    /// [`PlanError`] describing the violated constraint.
+    pub fn validate(&self, layout: &KernelLayout, timing: &TimingModel) -> Result<(), PlanError> {
         let plan = self.build_plan(layout)?;
         if self.enforce_safety {
             let bound = max_safe_area_size(timing, self.tns_delay_secs);
             plan.validate(bound)?;
         } else if plan.is_empty() {
-            return Err(SatinError::EmptyPlan);
+            return Err(PlanError::EmptyPlan);
         }
         Ok(())
     }
@@ -283,18 +283,16 @@ impl Satin {
 }
 
 impl SecureService for Satin {
-    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
-        let plan = self
-            .config
-            .build_plan(ctx.layout())
-            .expect("SATIN area plan construction failed");
+    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), SatinError> {
+        // Every boot failure surfaces as a structured SatinError so a
+        // misconfigured or fault-injected campaign seed reports a failed
+        // row instead of aborting the whole batch.
+        let plan = self.config.build_plan(ctx.layout())?;
         if self.config.enforce_safety {
             let bound = max_safe_area_size(ctx.timing(), self.config.tns_delay_secs);
-            plan.validate(bound)
-                .expect("SATIN configuration violates the §V-B area-size safety bound");
+            plan.validate(bound)?;
         }
-        let checker = IntegrityChecker::measure_at_boot(ctx.mem(), &plan, self.config.algorithm)
-            .expect("boot-time measurement failed");
+        let checker = IntegrityChecker::measure_at_boot(ctx.mem(), &plan, self.config.algorithm)?;
         let policy =
             WakePolicy::from_goal(self.config.tgoal, plan.len(), self.config.randomize_wake);
 
@@ -309,14 +307,14 @@ impl SecureService for Satin {
         ctx.rng().shuffle(&mut order);
         for core in order {
             let at = queue.extract(SimTime::ZERO, &policy, ctx.rng());
-            ctx.arm_core(core, at).expect("participant core exists");
+            ctx.arm_core(core, at)?;
         }
 
         let golden = if self.config.remediate {
-            Some(
-                crate::golden::GoldenStore::capture_at_boot(ctx.layout(), ctx.mem())
-                    .expect("golden capture at boot"),
-            )
+            Some(crate::golden::GoldenStore::capture_at_boot(
+                ctx.layout(),
+                ctx.mem(),
+            )?)
         } else {
             None
         };
@@ -328,6 +326,7 @@ impl SecureService for Satin {
         inner.policy = Some(policy);
         inner.queue = Some(SecureStorage::new("wake-up time queue", queue));
         inner.golden = golden;
+        Ok(())
     }
 
     fn on_secure_timer(&mut self, _core: CoreId, ctx: &mut SecureCtx<'_>) -> Option<ScanRequest> {
@@ -434,7 +433,7 @@ mod tests {
         bad.area_policy = AreaPolicy::Monolithic;
         assert!(matches!(
             bad.validate(&layout, &timing),
-            Err(SatinError::AreaTooLarge { .. })
+            Err(PlanError::AreaTooLarge { .. })
         ));
         // …unless safety enforcement is disabled (for ablation runs).
         bad.enforce_safety = false;

@@ -85,8 +85,21 @@ impl MemRange {
     }
 
     /// One past the last address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` overflows the address space. Bounds
+    /// checks use the overflow-safe containment predicates below, so an
+    /// adversarial range surfaces as `MemError::OutOfBounds` instead of
+    /// reaching this panic.
     pub fn end(&self) -> PhysAddr {
         self.start + self.len
+    }
+
+    /// One past the last address, in arithmetic wide enough that a range
+    /// reaching past the top of the address space cannot overflow.
+    fn end_wide(&self) -> u128 {
+        self.start.0 as u128 + self.len as u128
     }
 
     /// Length in bytes.
@@ -101,33 +114,43 @@ impl MemRange {
 
     /// `true` if `addr` lies within the range.
     pub fn contains(&self, addr: PhysAddr) -> bool {
-        addr >= self.start && addr < self.end()
+        addr >= self.start && (addr.0 as u128) < self.end_wide()
     }
 
     /// `true` if `other` lies entirely within this range.
+    ///
+    /// Overflow-safe: a range reaching past the top of the address space
+    /// is simply not contained, so bounds checks on adversarial ranges
+    /// report an error instead of panicking on `start + len`.
     pub fn contains_range(&self, other: &MemRange) -> bool {
-        other.is_empty() || (other.start >= self.start && other.end() <= self.end())
+        other.is_empty() || (other.start >= self.start && other.end_wide() <= self.end_wide())
     }
 
-    /// `true` if the two ranges share at least one byte.
+    /// `true` if the two ranges share at least one byte (overflow-safe).
     pub fn overlaps(&self, other: &MemRange) -> bool {
         !self.is_empty()
             && !other.is_empty()
-            && self.start < other.end()
-            && other.start < self.end()
+            && (self.start.0 as u128) < other.end_wide()
+            && (other.start.0 as u128) < self.end_wide()
     }
 
-    /// The intersection of the two ranges, if non-empty.
+    /// The intersection of the two ranges, if non-empty (overflow-safe;
+    /// clamped to the addressable space).
     pub fn intersection(&self, other: &MemRange) -> Option<MemRange> {
         let start = self.start.max(other.start);
-        let end = self.end().min(other.end());
-        (start < end).then(|| MemRange::new(start, end - start))
+        let end = self
+            .end_wide()
+            .min(other.end_wide())
+            .min(u64::MAX as u128 + 1);
+        ((start.0 as u128) < end).then(|| MemRange::new(start, (end - start.0 as u128) as u64))
     }
 }
 
 impl fmt::Display for MemRange {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}, {})", self.start, self.end())
+        // `end_wide`, not `end`: error messages quote adversarial ranges,
+        // and formatting an error must never panic.
+        write!(f, "[{}, {:#x})", self.start, self.end_wide())
     }
 }
 
@@ -185,6 +208,31 @@ mod tests {
         assert!(outer.contains_range(&MemRange::new(PhysAddr::new(0), 100)));
         assert!(outer.contains_range(&MemRange::new(PhysAddr::new(50), 50)));
         assert!(!outer.contains_range(&MemRange::new(PhysAddr::new(50), 51)));
+    }
+
+    #[test]
+    fn overflowing_ranges_never_panic() {
+        // Regression: a range reaching past the top of the address space
+        // used to panic with "address overflow" inside the containment
+        // math instead of failing the bounds check.
+        let wild = MemRange::new(PhysAddr::new(u64::MAX - 4), 100);
+        let sane = MemRange::new(PhysAddr::new(0x1000), 16);
+        assert!(!sane.contains_range(&wild));
+        assert!(!wild.contains_range(&sane));
+        assert!(!sane.overlaps(&wild));
+        assert!(sane.intersection(&wild).is_none());
+        assert!(wild.contains(PhysAddr::new(u64::MAX)));
+        // Two wild ranges still compare without panicking.
+        let wild2 = MemRange::new(PhysAddr::new(u64::MAX - 8), 100);
+        assert!(wild.overlaps(&wild2));
+        assert!(!wild2.contains_range(&wild), "wild ends later than wild2");
+        assert!(wild.contains_range(&MemRange::new(PhysAddr::new(u64::MAX - 4), 90)));
+        let i = wild.intersection(&wild2).unwrap();
+        assert_eq!(i.start(), PhysAddr::new(u64::MAX - 4));
+        // Clamped to the addressable space.
+        assert_eq!(i.len(), 5);
+        // Displaying a wild range (as error messages do) must not panic.
+        assert!(wild.to_string().contains("0x1000000000000005f"));
     }
 
     proptest! {

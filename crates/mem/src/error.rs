@@ -25,6 +25,8 @@ pub enum MemError {
         /// The requested section name.
         name: String,
     },
+    /// A backing store was requested for an empty range.
+    EmptyRange,
 }
 
 impl fmt::Display for MemError {
@@ -37,6 +39,7 @@ impl fmt::Display for MemError {
                 write!(f, "write to protected page at {addr}")
             }
             MemError::NoSuchSection { name } => write!(f, "no such kernel section: {name}"),
+            MemError::EmptyRange => write!(f, "memory range must not be empty"),
         }
     }
 }

@@ -47,14 +47,26 @@ impl PhysMemory {
     ///
     /// # Panics
     ///
-    /// Panics if `range` is empty.
+    /// Panics if `range` is empty; [`PhysMemory::try_zeroed`] is the
+    /// fallible form.
     pub fn zeroed(range: MemRange) -> Self {
-        assert!(!range.is_empty(), "empty memory range");
-        PhysMemory {
+        Self::try_zeroed(range).expect("non-empty memory range")
+    }
+
+    /// Allocates memory covering `range`, zero-filled, all pages writable.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::EmptyRange`] if `range` is empty.
+    pub fn try_zeroed(range: MemRange) -> Result<Self, MemError> {
+        if range.is_empty() {
+            return Err(MemError::EmptyRange);
+        }
+        Ok(PhysMemory {
             base: range.start(),
             bytes: vec![0; range.len() as usize],
             perms: PagePermissions::all_writable(range),
-        }
+        })
     }
 
     /// Allocates memory for `layout` and fills it with the deterministic
@@ -98,8 +110,14 @@ impl PhysMemory {
     ///
     /// [`MemError::OutOfBounds`] if the 8 bytes are not inside memory.
     pub fn read_u64(&self, addr: PhysAddr) -> Result<u64, MemError> {
-        let bytes = self.read(MemRange::new(addr, 8))?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let bytes: [u8; 8] =
+            self.read(MemRange::new(addr, 8))?
+                .try_into()
+                .map_err(|_| MemError::OutOfBounds {
+                    requested: MemRange::new(addr, 8),
+                    valid: self.range(),
+                })?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Writes `new` at `addr`, honouring page permissions.
@@ -179,6 +197,35 @@ mod tests {
         assert!(mem.read(MemRange::new(PhysAddr::new(0x100f), 2)).is_err());
         // Exactly at the end is fine.
         assert!(mem.read(MemRange::new(PhysAddr::new(0x100f), 1)).is_ok());
+    }
+
+    #[test]
+    fn adversarial_reads_return_bounds_error() {
+        // Regression: reads whose range overflows the address space used
+        // to panic ("address overflow") inside the bounds check instead
+        // of returning OutOfBounds; the error must also format cleanly.
+        let mut mem = PhysMemory::zeroed(MemRange::new(PhysAddr::new(0x1000), 16));
+        for range in [
+            MemRange::new(PhysAddr::new(u64::MAX - 4), 100),
+            MemRange::new(PhysAddr::new(u64::MAX), 1),
+            MemRange::new(PhysAddr::new(0x1000), u64::MAX),
+        ] {
+            let err = mem.read(range).unwrap_err();
+            assert!(matches!(err, MemError::OutOfBounds { .. }), "{range}");
+            assert!(err.to_string().contains("outside"), "{range}");
+        }
+        assert!(mem.read_u64(PhysAddr::new(u64::MAX - 3)).is_err());
+        assert!(mem.write(PhysAddr::new(u64::MAX - 3), &[1; 8]).is_err());
+        assert!(mem
+            .write_unchecked(PhysAddr::new(u64::MAX - 3), &[1; 8])
+            .is_err());
+    }
+
+    #[test]
+    fn try_zeroed_rejects_empty_range() {
+        let err = PhysMemory::try_zeroed(MemRange::new(PhysAddr::new(0x1000), 0)).unwrap_err();
+        assert_eq!(err, MemError::EmptyRange);
+        assert!(PhysMemory::try_zeroed(MemRange::new(PhysAddr::new(0x1000), 1)).is_ok());
     }
 
     #[test]

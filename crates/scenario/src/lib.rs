@@ -36,11 +36,16 @@
 //! assert_eq!(Scenario::paper().name, "juno-r1");
 //! ```
 
+pub mod faults;
 pub mod parse;
 pub mod registry;
 pub mod scenario;
 
-pub use parse::{parse_scenario, ParseError};
+pub use faults::{
+    builtin_fault_plan, AbortSpec, CorruptWindowSpec, DelayPublicationSpec, DropPublicationSpec,
+    FaultPlan, JitterSpec, SeedFilter,
+};
+pub use parse::{parse_fault_plan, parse_scenario, ParseError};
 pub use registry::{builtin, builtins};
 pub use scenario::{
     AreaPolicySpec, AttackProfile, CampaignProfile, CorePolicySpec, DefenseProfile, ProberKind,

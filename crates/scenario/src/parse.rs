@@ -8,6 +8,7 @@
 //! section except `[scenario]` is optional and defaults to the `juno-r1`
 //! profile, so a descriptor only spells out what it changes.
 
+use crate::faults::{apply_fault_key, FaultPlan};
 use crate::registry;
 use crate::scenario::{AreaPolicySpec, CorePolicySpec, ProberKind, Scenario};
 use satin_hash::HashAlgorithm;
@@ -48,6 +49,7 @@ enum Section {
     Attack,
     Defense,
     Campaign,
+    Faults,
 }
 
 impl Section {
@@ -60,6 +62,7 @@ impl Section {
             "attack" => Some(Section::Attack),
             "defense" => Some(Section::Defense),
             "campaign" => Some(Section::Campaign),
+            "faults" => Some(Section::Faults),
             _ => None,
         }
     }
@@ -73,8 +76,44 @@ impl Section {
             Section::Attack => "attack",
             Section::Defense => "defense",
             Section::Campaign => "campaign",
+            Section::Faults => "faults",
         }
     }
+}
+
+/// Extracts a `[header]` section name, rejecting unterminated brackets
+/// and stray whitespace inside them (`[attack ]` used to fall through to
+/// a misleading "unknown section" report).
+fn parse_header(line: &str) -> Result<Option<&str>, String> {
+    let Some(header) = line.strip_prefix('[') else {
+        return Ok(None);
+    };
+    let Some(header) = header.strip_suffix(']') else {
+        return Err(format!("unterminated section header `{line}`"));
+    };
+    if header != header.trim() {
+        return Err(format!(
+            "section header `[{header}]` has stray whitespace inside the brackets"
+        ));
+    }
+    Ok(Some(header))
+}
+
+/// Splits a `key = value` line, rejecting empty keys and keys with
+/// embedded whitespace (`dro p-publication = …` used to surface as a
+/// misleading "unknown key").
+fn parse_kv(line: &str) -> Result<(&str, &str), String> {
+    let Some((key, value)) = line.split_once('=') else {
+        return Err(format!("expected `key = value`, got `{line}`"));
+    };
+    let (key, value) = (key.trim(), value.trim());
+    if key.is_empty() {
+        return Err("empty key before `=`".to_string());
+    }
+    if key.chars().any(char::is_whitespace) {
+        return Err(format!("key `{key}` contains whitespace"));
+    }
+    Ok((key, value))
 }
 
 fn parse_floats<const N: usize>(value: &str) -> Result<[f64; N], String> {
@@ -141,10 +180,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        if let Some(header) = line.strip_prefix('[') {
-            let Some(header) = header.strip_suffix(']') else {
-                return Err(err(format!("unterminated section header `{line}`")));
-            };
+        if let Some(header) = parse_header(line).map_err(&err)? {
             let Some(sec) = Section::from_header(header) else {
                 return Err(err(format!("unknown section `[{header}]`")));
             };
@@ -154,10 +190,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseError> {
             section = Some(sec);
             continue;
         }
-        let Some((key, value)) = line.split_once('=') else {
-            return Err(err(format!("expected `key = value`, got `{line}`")));
-        };
-        let (key, value) = (key.trim(), value.trim());
+        let (key, value) = parse_kv(line).map_err(&err)?;
         let Some(sec) = section else {
             return Err(err(format!("key `{key}` before any [section]")));
         };
@@ -262,6 +295,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseError> {
                 "seeds" => sc.campaign.seeds = parse_int(value).map_err(err)?,
                 _ => return Err(unknown()),
             },
+            Section::Faults => apply_fault_key(&mut sc.faults, key, value).map_err(err)?,
         }
     }
 
@@ -274,6 +308,60 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseError> {
     sc.platform.name = sc.name.clone();
     sc.validate().map_err(|msg| ParseError { line: 0, msg })?;
     Ok(sc)
+}
+
+/// Parses a standalone fault plan: a document holding exactly one
+/// `[faults]` section in the same dialect as a scenario descriptor, for
+/// `repro --faults FILE`.
+///
+/// # Errors
+///
+/// [`ParseError`] with the 1-based offending line, or line 0 for
+/// document-level problems (missing section, violated invariants). The
+/// strictness rules match [`parse_scenario`]: unknown keys, duplicates,
+/// stray header whitespace, and malformed keys are all hard errors.
+pub fn parse_fault_plan(text: &str) -> Result<FaultPlan, ParseError> {
+    let mut plan = FaultPlan::default();
+    let mut in_section = false;
+    let mut seen_keys: BTreeSet<String> = BTreeSet::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |msg: String| ParseError { line: lineno, msg };
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = parse_header(line).map_err(&err)? {
+            if header != "faults" {
+                return Err(err(format!(
+                    "unknown section `[{header}]` (fault plans hold only [faults])"
+                )));
+            }
+            if in_section {
+                return Err(err("duplicate section `[faults]`".to_string()));
+            }
+            in_section = true;
+            continue;
+        }
+        let (key, value) = parse_kv(line).map_err(&err)?;
+        if !in_section {
+            return Err(err(format!("key `{key}` before [faults]")));
+        }
+        if !seen_keys.insert(key.to_string()) {
+            return Err(err(format!("duplicate key `{key}` in [faults]")));
+        }
+        apply_fault_key(&mut plan, key, value).map_err(err)?;
+    }
+
+    if !in_section {
+        return Err(ParseError {
+            line: 0,
+            msg: "missing [faults] section".to_string(),
+        });
+    }
+    plan.validate().map_err(|msg| ParseError { line: 0, msg })?;
+    Ok(plan)
 }
 
 #[cfg(test)]
@@ -402,6 +490,86 @@ mod tests {
         assert_eq!(parse_scenario(text).unwrap().name, "x");
     }
 
+    #[test]
+    fn header_with_stray_whitespace_rejected() {
+        // Used to surface as a misleading "unknown section `[attack ]`".
+        for text in [
+            "[scenario]\nname = x\n[attack ]\n",
+            "[scenario]\nname = x\n[ attack]\n",
+            "[scenario]\nname = x\n[\tattack\t]\n",
+        ] {
+            let e = parse_scenario(text).unwrap_err();
+            assert_eq!(e.line, 3, "{text:?}");
+            assert!(e.msg.contains("stray whitespace"), "{text:?} gave `{e}`");
+        }
+    }
+
+    #[test]
+    fn malformed_keys_rejected() {
+        // Empty key, and a key with embedded whitespace: both used to be
+        // reported as unknown keys instead of syntax errors.
+        let e = parse_scenario("[scenario]\n= x\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("empty key"), "{e}");
+        let e = parse_scenario("[scenario]\nna me = x\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("contains whitespace"), "{e}");
+    }
+
+    #[test]
+    fn faults_section_round_trips_through_scenario() {
+        let mut sc = registry::juno_r1();
+        sc.faults = crate::faults::FaultPlan::chaos();
+        let text = sc.to_text();
+        assert!(text.contains("[faults]"), "{text}");
+        let parsed = parse_scenario(&text).unwrap();
+        assert_eq!(parsed, sc);
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn faultless_scenario_text_has_no_faults_section() {
+        // Pre-fault descriptors and golden snapshots must stay byte-stable.
+        for sc in registry::builtins() {
+            assert!(!sc.to_text().contains("[faults]"), "{}", sc.name);
+        }
+    }
+
+    #[test]
+    fn fault_plan_standalone_parses() {
+        let text = "# plan\n[faults]\ndrop-publication = * 3000000000\n\
+                    abort = 42 6000000000 2\nmax-attempts = 2\n";
+        let plan = parse_fault_plan(text).unwrap();
+        assert_eq!(
+            plan.drop_publication.map(|d| d.at),
+            Some(satin_sim::SimTime::from_secs(3))
+        );
+        assert_eq!(plan.abort.map(|a| a.attempts), Some(2));
+        assert_eq!(plan.max_attempts, 2);
+    }
+
+    #[test]
+    fn fault_plan_rejects_scenario_sections_and_duplicates() {
+        let e = parse_fault_plan("[attack]\nsleep-ns = 1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("unknown section"), "{e}");
+        let e = parse_fault_plan("[faults]\n[faults]\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("duplicate section"), "{e}");
+        let e = parse_fault_plan("[faults]\nmax-attempts = 2\nmax-attempts = 3\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("duplicate key"), "{e}");
+        let e = parse_fault_plan("jitter = * 1 1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("before [faults]"), "{e}");
+        let e = parse_fault_plan("").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.msg.contains("missing [faults]"), "{e}");
+        let e = parse_fault_plan("[faults]\nmax-attempts = 0\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.msg.contains("max-attempts"), "{e}");
+    }
+
     proptest! {
         /// Parsing never panics, whatever bytes arrive.
         #[test]
@@ -422,6 +590,31 @@ mod tests {
             bytes[idx] = byte;
             let text = String::from_utf8_lossy(&bytes);
             let _ = parse_scenario(&text);
+        }
+
+        /// Fault-plan parsing never panics on arbitrary bytes.
+        #[test]
+        fn fault_plan_parse_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = parse_fault_plan(&text);
+        }
+
+        /// Mutating one byte of a valid fault plan never panics, and any
+        /// plan that still parses still validates (parse implies valid).
+        #[test]
+        fn mutated_fault_plan_never_panics(
+            pos in 0usize..1024,
+            byte in 0u8..=255,
+        ) {
+            let mut sc = registry::juno_r1();
+            sc.faults = crate::faults::FaultPlan::chaos();
+            let mut bytes = format!("[faults]\n{}", sc.faults.to_text()).into_bytes();
+            let idx = pos % bytes.len();
+            bytes[idx] = byte;
+            let text = String::from_utf8_lossy(&bytes);
+            if let Ok(plan) = parse_fault_plan(&text) {
+                plan.validate().expect("parsed plans are valid");
+            }
         }
     }
 }

@@ -4,6 +4,7 @@
 //! everywhere; the other built-ins vary exactly one axis each so grid
 //! sweeps read as controlled experiments.
 
+use crate::faults::FaultPlan;
 use crate::scenario::{
     AreaPolicySpec, AttackProfile, CampaignProfile, CorePolicySpec, DefenseProfile, ProberKind,
     Scenario,
@@ -62,6 +63,7 @@ pub fn juno_r1() -> Scenario {
         attack: paper_attack(3),
         defense: paper_defense(),
         campaign: quick_campaign(),
+        faults: FaultPlan::default(),
     }
 }
 

@@ -1,5 +1,6 @@
 //! The [`Scenario`] descriptor and its canonical text form.
 
+use crate::faults::FaultPlan;
 use satin_hash::HashAlgorithm;
 use satin_hw::profile::PlatformSpec;
 use satin_hw::timing::ScanStrategy;
@@ -172,6 +173,8 @@ pub struct Scenario {
     pub defense: DefenseProfile,
     /// The campaign shape.
     pub campaign: CampaignProfile,
+    /// Injected faults (empty by default: clean runs stay clean).
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -255,6 +258,7 @@ impl Scenario {
         if self.campaign.seeds == 0 {
             return Err("campaign seeds must be at least 1".to_string());
         }
+        self.faults.validate()?;
         Ok(())
     }
 
@@ -327,6 +331,13 @@ impl Scenario {
         let _ = writeln!(out, "rounds = {}", self.campaign.rounds);
         let _ = writeln!(out, "tgoal-ns = {}", self.campaign.tgoal.as_nanos());
         let _ = writeln!(out, "seeds = {}", self.campaign.seeds);
+        // Fault-free scenarios must render exactly as they did before the
+        // fault layer existed, so the section only appears when armed.
+        if !self.faults.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "[faults]");
+            out.push_str(&self.faults.to_text());
+        }
         out
     }
 }

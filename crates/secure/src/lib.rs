@@ -20,5 +20,5 @@ pub mod scanner;
 pub mod storage;
 pub mod tsp;
 
-pub use storage::SecureStorage;
+pub use storage::{MeasurementSlots, SecureStorage, SlotWrite};
 pub use tsp::TestSecurePayload;

@@ -6,8 +6,13 @@
 //! installed for the secure timer, per-core invocation statistics, and
 //! cumulative secure-world residency (used by the Figure 7 overhead study).
 
-use satin_hw::CoreId;
+use crate::storage::MeasurementSlots;
+use satin_hw::{CoreId, World};
 use satin_sim::{SimDuration, SimTime};
+use std::num::NonZeroUsize;
+
+/// How many recent invocation records the TSP's fixed slot region keeps.
+const RECENT_SLOTS: usize = 32;
 
 /// Per-core invocation record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,6 +41,7 @@ pub struct CoreStats {
 pub struct TestSecurePayload {
     stats: Vec<CoreStats>,
     last_invocation: Option<(CoreId, SimTime)>,
+    recent: MeasurementSlots<(CoreId, SimTime)>,
 }
 
 impl TestSecurePayload {
@@ -49,6 +55,10 @@ impl TestSecurePayload {
         TestSecurePayload {
             stats: vec![CoreStats::default(); num_cores],
             last_invocation: None,
+            recent: MeasurementSlots::new(
+                "recent invocation slots",
+                NonZeroUsize::new(RECENT_SLOTS).expect("RECENT_SLOTS is non-zero"),
+            ),
         }
     }
 
@@ -63,6 +73,15 @@ impl TestSecurePayload {
         s.invocations += 1;
         s.residency += residency;
         self.last_invocation = Some((core, at));
+        // The TSP itself runs in the secure world; once the fixed slot
+        // region fills, the oldest record is evicted (a typed outcome,
+        // not a panic — long campaigns keep a sliding window).
+        let _ = self.recent.push(World::Secure, (core, at));
+    }
+
+    /// The bounded log of recent invocations (secure-world only).
+    pub fn recent_invocations(&self) -> &MeasurementSlots<(CoreId, SimTime)> {
+        &self.recent
     }
 
     /// Stats for one core.
@@ -125,6 +144,34 @@ mod tests {
         assert_eq!(
             tsp.last_invocation(),
             Some((CoreId::new(2), SimTime::from_secs(3)))
+        );
+        let recent: Vec<_> = tsp
+            .recent_invocations()
+            .read(World::Secure)
+            .unwrap()
+            .copied()
+            .collect();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[2], (CoreId::new(2), SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn recent_log_slides_instead_of_overflowing() {
+        let mut tsp = TestSecurePayload::new(1);
+        for s in 0..100 {
+            tsp.record_invocation(
+                CoreId::new(0),
+                SimTime::from_secs(s),
+                SimDuration::from_millis(1),
+            );
+        }
+        let slots = tsp.recent_invocations();
+        assert_eq!(slots.len(), slots.capacity().get());
+        assert_eq!(slots.evictions(), 100 - slots.capacity().get() as u64);
+        let oldest = slots.read(World::Secure).unwrap().next().copied().unwrap();
+        assert_eq!(
+            oldest.1,
+            SimTime::from_secs(100 - slots.capacity().get() as u64)
         );
     }
 

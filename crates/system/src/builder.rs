@@ -1,10 +1,11 @@
 //! Construction of a [`System`].
 
 use crate::machine::System;
+use satin_faults::FaultInjector;
 use satin_hw::Platform;
 use satin_kernel::KernelConfig;
 use satin_mem::KernelLayout;
-use satin_scenario::Scenario;
+use satin_scenario::{FaultPlan, Scenario};
 use satin_sim::{RngFactory, TraceLog};
 use satin_telemetry::Timeline;
 
@@ -32,6 +33,8 @@ pub struct SystemBuilder {
     image_seed: u64,
     trace: bool,
     telemetry: bool,
+    fault_plan: FaultPlan,
+    fault_attempt: u32,
 }
 
 impl SystemBuilder {
@@ -45,6 +48,8 @@ impl SystemBuilder {
             image_seed: 0x1_4ee7,
             trace: true,
             telemetry: false,
+            fault_plan: FaultPlan::default(),
+            fault_attempt: 1,
         }
     }
 
@@ -67,11 +72,28 @@ impl SystemBuilder {
     }
 
     /// Applies a scenario: the platform is rebuilt from the scenario's
-    /// profile. Attacker and defense profiles live above this crate and are
-    /// consumed by `TzEvaderConfig::from_profile` and
-    /// `SatinConfig::from_profile`; the builder only owns the hardware.
+    /// profile and the scenario's fault plan (if any) is adopted. Attacker
+    /// and defense profiles live above this crate and are consumed by
+    /// `TzEvaderConfig::from_profile` and `SatinConfig::from_profile`; the
+    /// builder only owns the hardware and the fault injector.
     pub fn scenario(self, scenario: &Scenario) -> Self {
         self.platform(Platform::from_profile(&scenario.platform))
+            .fault_plan(scenario.faults)
+    }
+
+    /// Sets the fault-injection plan. An empty (default) plan means a clean
+    /// run; a non-empty plan arms a deterministic [`FaultInjector`] keyed by
+    /// the master seed and the attempt number.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the 1-based retry attempt this run represents (faults with an
+    /// attempt budget stop firing on later attempts).
+    pub fn fault_attempt(mut self, attempt: u32) -> Self {
+        self.fault_attempt = attempt.max(1);
+        self
     }
 
     /// Replaces the kernel layout.
@@ -119,6 +141,8 @@ impl SystemBuilder {
         } else {
             Timeline::disabled()
         };
+        let faults = (!self.fault_plan.is_empty())
+            .then(|| FaultInjector::new(self.fault_plan, self.master_seed, self.fault_attempt));
         System::assemble(
             self.platform,
             self.layout,
@@ -127,6 +151,7 @@ impl SystemBuilder {
             rngs,
             trace,
             telemetry,
+            faults,
         )
     }
 }

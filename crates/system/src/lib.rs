@@ -33,5 +33,6 @@ pub use builder::SystemBuilder;
 pub use event::SysEvent;
 pub use machine::{ActiveScan, System, TickHook};
 pub use metrics::{CoreMetrics, SysMetrics};
+pub use satin_faults::{FaultError, FaultStats, SatinError};
 pub use service::{BootCtx, ScanRequest, SecureCtx, SecureService};
 pub use timebuf::SharedTimeBuffer;

@@ -32,6 +32,7 @@ use crate::service::{BootCtx, ScanRequest, SecureService};
 use crate::stats::{SysStats, TaskWork};
 use crate::timebuf::SharedTimeBuffer;
 use cores::CoreState;
+use satin_faults::{FaultInjector, FaultStats, SatinError};
 use satin_hw::{CoreId, Platform};
 use satin_kernel::syscall::SyscallTable;
 use satin_kernel::{Affinity, KernelConfig, SchedClass, Scheduler, TaskId};
@@ -106,6 +107,10 @@ pub struct System {
     /// observer when the activation returns (bodies can't borrow the
     /// simulator while the dispatch loop holds it).
     mark_buf: Vec<satin_sim::Mark>,
+    /// Deterministic adversarial fault injector — `None` for clean runs.
+    /// A pure function of (plan, seed, attempt), so faulted runs stay as
+    /// reproducible as clean ones.
+    faults: Option<FaultInjector>,
     /// Fraction of CPU time consumed by normal-world interrupt handling
     /// while the secure world runs in *preemptive* mode (GIC with
     /// `SCR_EL3.IRQ = 1`, §II-B). An attacker can drive this up with an
@@ -114,6 +119,8 @@ pub struct System {
 }
 
 impl System {
+    // One call site (the builder); a params struct would just restate it.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         platform: Platform,
         layout: KernelLayout,
@@ -122,6 +129,7 @@ impl System {
         rngs: [SimRng; 4],
         trace: TraceLog,
         mut telemetry: Timeline,
+        faults: Option<FaultInjector>,
     ) -> Self {
         let n = platform.topology().num_cores();
         let mem = PhysMemory::with_image(&layout, image_seed);
@@ -166,6 +174,7 @@ impl System {
             rng_secure,
             rng_body,
             mark_buf: Vec::new(),
+            faults,
             ns_interrupt_load: 0.0,
         };
         // Arm the periodic scheduler tick on every core.
@@ -220,7 +229,29 @@ impl System {
 
     /// Installs the secure service and runs its trusted-boot hook, arming
     /// the initial secure timers.
-    pub fn install_secure_service(&mut self, mut service: impl SecureService + 'static) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if boot fails; [`System::try_install_secure_service`] is the
+    /// fallible form campaign runners use.
+    pub fn install_secure_service(&mut self, service: impl SecureService + 'static) {
+        self.try_install_secure_service(service)
+            .expect("secure service boot failed");
+    }
+
+    /// Installs the secure service and runs its trusted-boot hook, arming
+    /// the initial secure timers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the boot hook's [`SatinError`]. On error no service is
+    /// installed and no timer events are scheduled; the partially-armed
+    /// system should be discarded (the campaign layer reports the seed as
+    /// failed and moves on).
+    pub fn try_install_secure_service(
+        &mut self,
+        mut service: impl SecureService + 'static,
+    ) -> Result<(), SatinError> {
         assert!(self.service.is_none(), "secure service already installed");
         let mut armed = Vec::new();
         {
@@ -231,7 +262,7 @@ impl System {
                 rng: &mut self.rng_secure,
                 armed: &mut armed,
             };
-            service.on_boot(&mut ctx);
+            service.on_boot(&mut ctx)?;
         }
         for (core, at) in armed {
             let gen = self.cores[core.index()].timer_gen;
@@ -244,6 +275,7 @@ impl System {
             );
         }
         self.service = Some(Box::new(service));
+        Ok(())
     }
 
     /// Installs a tick hook (KProber-I's injection point).
@@ -376,5 +408,27 @@ impl System {
     /// Events dispatched so far (diagnostics).
     pub fn events_dispatched(&self) -> u64 {
         self.sim.dispatched()
+    }
+
+    /// What the fault injector has done so far — `None` when no fault plan
+    /// is active.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Checks whether a scheduled worker abort is due at the current sim
+    /// time. Campaign drivers call this between run slices so an injected
+    /// abort surfaces as a structured error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`satin_faults::FaultError::WorkerAbort`] (wrapped in
+    /// [`SatinError::Fault`]) once the abort instant has passed and the
+    /// current attempt is still within the abort's attempt budget.
+    pub fn check_fault_abort(&self) -> Result<(), SatinError> {
+        if let Some(f) = &self.faults {
+            f.check_abort(self.sim.now())?;
+        }
+        Ok(())
     }
 }

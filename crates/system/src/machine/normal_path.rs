@@ -8,13 +8,23 @@ use crate::event::SysEvent;
 use satin_hw::CoreId;
 use satin_kernel::{SchedClass, TaskId, TaskState};
 use satin_sim::dist::SecondsDist;
-use satin_sim::SimTime;
+use satin_sim::{SimTime, TraceCategory};
 
 impl System {
     pub(super) fn on_tick(&mut self, now: SimTime, core: CoreId) {
         // Always schedule the next boundary (the hardware timer keeps going;
         // NO_HZ merely suppresses delivery while idle).
-        let next = self.cores[core.index()].tick.next_boundary(now);
+        let mut next = self.cores[core.index()].tick.next_boundary(now);
+        // An injected jitter spike pushes one boundary late — the timing
+        // anomaly a loaded or adversarial interrupt fabric produces.
+        if let Some(extra) = self.faults.as_mut().and_then(|f| f.tick_jitter(now)) {
+            next += extra;
+            self.trace.record(
+                now,
+                TraceCategory::Custom("fault.jitter"),
+                format!("{core} extra={extra}"),
+            );
+        }
         self.sim.schedule_at(next, SysEvent::TickBoundary { core });
 
         if self.cores[core.index()].secure.is_some() {

@@ -53,9 +53,10 @@ fn interrupt_load_harmless_when_nonpreemptive() {
 
     struct OneScan(Rc<RefCell<Option<SimDuration>>>);
     impl crate::SecureService for OneScan {
-        fn on_boot(&mut self, ctx: &mut crate::BootCtx<'_>) {
+        fn on_boot(&mut self, ctx: &mut crate::BootCtx<'_>) -> Result<(), crate::SatinError> {
             ctx.arm_core(CoreId::new(0), SimTime::from_millis(1))
                 .unwrap();
+            Ok(())
         }
         fn on_secure_timer(
             &mut self,

@@ -5,6 +5,7 @@ use super::cores::SecureSession;
 use super::{ActiveScan, System};
 use crate::event::SysEvent;
 use crate::service::{ScanRequest, SecureCtx};
+use satin_faults::PublicationFate;
 use satin_hw::CoreId;
 use satin_mem::ScanWindow;
 use satin_sim::{Mark, MarkTag, SimDuration, SimTime, TraceCategory};
@@ -208,7 +209,19 @@ impl System {
             self.stats
                 .metrics
                 .record_hash_window(scan.window.duration());
-            let observed = scan.window.into_observed();
+            let mut observed = scan.window.into_observed();
+            // An injected corruption flips the observed bytes between the
+            // scanner and the verifier — a transfer fault the digest check
+            // must flag, not crash on.
+            if let Some(f) = self.faults.as_mut() {
+                if f.corrupt_window(now, &mut observed) {
+                    self.trace.record(
+                        now,
+                        TraceCategory::Custom("fault.corrupt"),
+                        format!("{core} len={}", observed.len()),
+                    );
+                }
+            }
             if let Some(mut service) = self.service.take() {
                 let kind = self.platform.core_kind(core);
                 let mut rearm = None;
@@ -239,11 +252,39 @@ impl System {
             .platform
             .timing()
             .sample_ts_switch(&mut self.rng_timing);
-        let resume = self
+        let mut resume = self
             .platform
             .monitor_mut()
             .exit_secure(core, now, switch)
             .expect("core was in secure world");
+        // The round's cross-core publication can be faulted: dropped (the
+        // results never reach the normal world — detection slips to a later
+        // round) or delayed (the world-switch out stalls, shifting every
+        // exit effect later by the same amount).
+        let fate = self
+            .faults
+            .as_mut()
+            .map(|f| f.publication_fate(now))
+            .unwrap_or(PublicationFate::Deliver);
+        match fate {
+            PublicationFate::Deliver => {}
+            PublicationFate::Drop => {
+                self.trace.record(
+                    now,
+                    TraceCategory::Custom("fault.drop"),
+                    format!("{core} publication dropped"),
+                );
+            }
+            PublicationFate::Delay(by) => {
+                resume += by;
+                self.trace.record(
+                    now,
+                    TraceCategory::Custom("fault.delay"),
+                    format!("{core} by={by}"),
+                );
+            }
+        }
+        let dropped = matches!(fate, PublicationFate::Drop);
         let residency = resume.since(session.fired);
         self.tsp.record_invocation(core, session.fired, residency);
         self.cores[core.index()].secure = None;
@@ -252,11 +293,12 @@ impl System {
             m.world_switches += 1;
             m.pollution_windows += 1;
         }
-        self.stats.metrics.record_publication_delay(residency);
         // The round's results are visible to the normal world once the
         // world-switch out completes: the session span closes at `resume`,
         // and a detection (any alarm raised inside this round) counts its
-        // latency from timer fire to that publication instant.
+        // latency from timer fire to that publication instant. A dropped
+        // publication produces none of these — the secure round ran, but
+        // nothing crossed the world boundary.
         self.telemetry.complete(
             "world.switch_out",
             track(core),
@@ -266,19 +308,29 @@ impl System {
             format!("switch={switch}"),
         );
         self.telemetry.end(session.span, resume);
-        self.telemetry.instant(
-            "publish",
-            track(core),
-            resume,
-            format!("residency={residency}"),
-        );
-        self.sim.mark(Mark::with_args(
-            MarkTag::Publish,
-            core.index(),
-            resume.as_nanos(),
-            0,
-        ));
-        if self.stats.alarms > alarms_before {
+        if dropped {
+            self.telemetry.instant(
+                "fault.drop_publication",
+                track(core),
+                resume,
+                format!("residency={residency}"),
+            );
+        } else {
+            self.stats.metrics.record_publication_delay(residency);
+            self.telemetry.instant(
+                "publish",
+                track(core),
+                resume,
+                format!("residency={residency}"),
+            );
+            self.sim.mark(Mark::with_args(
+                MarkTag::Publish,
+                core.index(),
+                resume.as_nanos(),
+                0,
+            ));
+        }
+        if !dropped && self.stats.alarms > alarms_before {
             self.stats.metrics.record_detection_latency(residency);
             self.telemetry.instant(
                 "detection",

@@ -90,9 +90,10 @@ fn rt_preempts_cfs_mid_quantum() {
 fn pinned_task_freezes_while_core_in_secure_world() {
     struct OneShotScan;
     impl SecureService for OneShotScan {
-        fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
+        fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), crate::SatinError> {
             ctx.arm_core(CoreId::new(0), SimTime::from_millis(5))
                 .unwrap();
+            Ok(())
         }
         fn on_secure_timer(
             &mut self,
@@ -152,9 +153,10 @@ fn pinned_task_freezes_while_core_in_secure_world() {
 fn metrics_break_down_one_secure_round() {
     struct OneShotScan;
     impl SecureService for OneShotScan {
-        fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
+        fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), crate::SatinError> {
             ctx.arm_core(CoreId::new(1), SimTime::from_millis(5))
                 .unwrap();
+            Ok(())
         }
         fn on_secure_timer(
             &mut self,
@@ -227,9 +229,10 @@ fn scan_observes_concurrent_write_race() {
         results: Rc<RefCell<Vec<Vec<u8>>>>,
     }
     impl SecureService for ScanArea14 {
-        fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
+        fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), crate::SatinError> {
             ctx.arm_core(CoreId::new(1), SimTime::from_millis(10))
                 .unwrap();
+            Ok(())
         }
         fn on_secure_timer(
             &mut self,

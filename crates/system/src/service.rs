@@ -1,5 +1,6 @@
 //! Secure-world service plug-in points.
 
+use satin_faults::SatinError;
 use satin_hw::timing::{ScanStrategy, TimingModel};
 use satin_hw::{CoreId, CoreKind, HwError, Platform, World};
 use satin_mem::{KernelLayout, MemError, MemRange, PhysAddr, PhysMemory};
@@ -27,7 +28,12 @@ pub struct ScanRequest {
 pub trait SecureService {
     /// Trusted-boot hook: measure the pristine kernel and arm the initial
     /// per-core secure timers.
-    fn on_boot(&mut self, ctx: &mut BootCtx<'_>);
+    ///
+    /// # Errors
+    ///
+    /// A [`SatinError`] aborts the boot: the service is not installed and
+    /// the campaign layer reports the seed as failed instead of panicking.
+    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), SatinError>;
 
     /// The secure timer fired on `core`. Return the area to scan this round,
     /// or `None` to skip scanning (the timer can be re-armed via `ctx`).

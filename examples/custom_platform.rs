@@ -25,19 +25,17 @@ struct TableWatchdog {
 }
 
 impl SecureService for TableWatchdog {
-    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) {
+    fn on_boot(&mut self, ctx: &mut BootCtx<'_>) -> Result<(), satin::system::SatinError> {
         let mut table = AuthorizedHashTable::new(HashAlgorithm::Fnv1a);
         for (i, r) in self.targets.iter().enumerate() {
-            table.enroll(
-                i,
-                hash_bytes(HashAlgorithm::Fnv1a, ctx.mem().read(*r).unwrap()),
-            );
+            table.enroll(i, hash_bytes(HashAlgorithm::Fnv1a, ctx.mem().read(*r)?));
         }
         self.table = Some(table);
         // First wake on a random core.
         let n = ctx.num_cores() as u64;
         let core = CoreId::new(ctx.rng().below(n) as usize);
-        ctx.arm_core(core, SimTime::ZERO + self.period).unwrap();
+        ctx.arm_core(core, SimTime::ZERO + self.period)?;
+        Ok(())
     }
 
     fn on_secure_timer(&mut self, _core: CoreId, _ctx: &mut SecureCtx<'_>) -> Option<ScanRequest> {
