@@ -1,0 +1,31 @@
+//! End-to-end seeds/sec: the quantity ROADMAP item 1 tracks.
+//!
+//! One iteration = one complete quick detection campaign (57 rounds,
+//! tp = 1 s scaled) on a fresh `System` — the unit of work `CampaignRunner`
+//! fans out per seed. The committed `BENCH_*.json` trajectory records the
+//! same quantity via `repro bench --json`; this criterion entry is the
+//! interactive view of it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satin_bench::detection::{self, DetectionConfig};
+
+fn bench_campaign_seed(c: &mut Criterion) {
+    c.bench_function("detection_quick_one_seed", |b| {
+        b.iter(|| detection::run(DetectionConfig::quick(7)).rounds)
+    });
+}
+
+fn bench_campaign_seed_with_trace(c: &mut Criterion) {
+    // Trace recording is the observer-on configuration — the sim observer
+    // and trace ring must not erase the hot-path win.
+    c.bench_function("detection_quick_one_seed_traced", |b| {
+        b.iter(|| {
+            let mut config = DetectionConfig::quick(7);
+            config.trace = true;
+            detection::run(config).rounds
+        })
+    });
+}
+
+criterion_group!(benches, bench_campaign_seed, bench_campaign_seed_with_trace);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use satin_hash::{hash_bytes, HashAlgorithm};
 use satin_kernel::{Affinity, KernelConfig, SchedClass, Scheduler, TaskState};
 use satin_mem::{MemRange, PhysAddr, ScanWindow};
-use satin_sim::{SimDuration, SimTime, Simulator};
+use satin_sim::{BaselineHeapQueue, EventQueue, SimDuration, SimTime, Simulator};
 
 fn bench_hashes(c: &mut Criterion) {
     let data = vec![0xA5u8; 1 << 20];
@@ -62,6 +62,48 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// The engine's event traffic shape: mostly near-term events with the
+/// occasional far-future timer (lands in the wheel's overflow level).
+fn queue_times(i: u64) -> SimTime {
+    SimTime::from_nanos(if i % 97 == 0 {
+        10_000_000 + i * 1_000
+    } else {
+        (i * 37) % 60_000
+    })
+}
+
+fn bench_queue_wheel_vs_heap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_10k_churn");
+    g.throughput(Throughput::Elements(20_000)); // one push + one pop each
+    g.bench_function("timing_wheel", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(queue_times(i), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    g.bench_function("baseline_heap", |b| {
+        b.iter(|| {
+            let mut q: BaselineHeapQueue<u64> = BaselineHeapQueue::new();
+            for i in 0..10_000u64 {
+                q.push(queue_times(i), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     c.bench_function("scheduler_wake_pick_stop_cycle", |b| {
         let mut s = Scheduler::new(6, KernelConfig::lsk_4_4());
@@ -88,6 +130,7 @@ criterion_group!(
     bench_hashes,
     bench_scan_window,
     bench_event_queue,
+    bench_queue_wheel_vs_heap,
     bench_scheduler
 );
 criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Scan-window hashing: the slice-batched enum-dispatched path against the
+//! pre-refactor per-byte boxed path, across algorithms, window sizes, and
+//! the unaligned heads/tails the secure path produces.
+//!
+//! The batched djb2/sdbm loops are algebraically exact (eight affine steps
+//! compose into one, mod 2^64), so these benches compare *cost structures*
+//! of identical digests — see `satin-hash` and DESIGN.md §13.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use satin_hash::{HashAlgorithm, HasherKind};
+
+/// Deterministic window contents (never all-zero: keep the multiplier fed).
+fn window(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 56) as u8)
+        .collect()
+}
+
+fn bench_batched_vs_per_byte(c: &mut Criterion) {
+    let data = window(256 * 1024);
+    let mut g = c.benchmark_group("hash_window_256k");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for alg in HashAlgorithm::ALL {
+        g.bench_function(format!("{}_batched", alg.name()), |b| {
+            b.iter(|| {
+                let mut h = HasherKind::new(alg);
+                h.update(std::hint::black_box(&data));
+                h.finish()
+            })
+        });
+        g.bench_function(format!("{}_boxed_per_byte", alg.name()), |b| {
+            b.iter(|| {
+                let mut h = alg.new_hasher();
+                for byte in std::hint::black_box(&data).chunks(1) {
+                    h.update(byte);
+                }
+                h.finish()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_unaligned_windows(c: &mut Criterion) {
+    // The secure path hashes 19 areas whose lengths are not multiples of 8;
+    // the batched loop's tail handling must not dominate on odd sizes.
+    let data = window(64 * 1024 + 7);
+    let mut g = c.benchmark_group("hash_window_unaligned");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for (name, range) in [
+        ("odd_head", 3..data.len()),
+        ("odd_tail", 0..data.len() - 5),
+        ("odd_both", 1..data.len() - 2),
+    ] {
+        let slice = &data[range];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut h = HasherKind::new(HashAlgorithm::Djb2);
+                h.update(std::hint::black_box(slice));
+                h.finish()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched_vs_per_byte, bench_unaligned_windows);
+criterion_main!(benches);

@@ -41,10 +41,17 @@
 //! reported as a structured `failed` row — with its error, after its
 //! retries — instead of killing the batch, and the report is byte-identical
 //! for any `--jobs`. Neither flag nor experiment is part of `all`.
+//!
+//! The `bench` experiment measures the hot-path microbenchmarks (timing
+//! wheel vs. reference heap, batched vs. per-byte hashing, the seeds/sec
+//! model, and one real quick campaign) and prints the report; `--json FILE`
+//! additionally writes the `BENCH_*.json` snapshot that `ci.sh` validates
+//! and the ROADMAP trajectory commits. Not part of `all` — wall-clock
+//! numbers belong to the machine that measured them.
 
 use satin_bench::{
-    ablation, detection, fig7, race, recover, switch, table1, table2, threshold_sweep, userprober,
-    CampaignRunner, MetricsReport, ScenarioGrid, DEFAULT_SEED,
+    ablation, detection, fig7, perf, race, recover, switch, table1, table2, threshold_sweep,
+    userprober, CampaignRunner, MetricsReport, ScenarioGrid, DEFAULT_SEED,
 };
 use satin_scenario::{FaultPlan, Scenario};
 use satin_sim::SimDuration;
@@ -59,6 +66,8 @@ struct Opts {
     analyze: bool,
     trace_out: Option<String>,
     metrics_json: Option<String>,
+    /// `--json` target for the `bench` experiment's BENCH_*.json snapshot.
+    json_out: Option<String>,
     /// The selected scenario (Juno r1 paper defaults unless `--scenario`).
     scenario: Scenario,
     /// True when `--scenario` was given explicitly.
@@ -123,6 +132,7 @@ fn parse_args() -> Opts {
     let mut analyze = false;
     let mut trace_out = None;
     let mut metrics_json = None;
+    let mut json_out = None;
     let mut scenario = None;
     let mut faults = None;
     let mut experiments = Vec::new();
@@ -172,15 +182,21 @@ fn parse_args() -> Opts {
                         .unwrap_or_else(|| die("--metrics-json needs a file path")),
                 );
             }
+            "--json" => {
+                json_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--json needs a file path")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--seed N] [--jobs N] [--metrics] [--analyze] \
                      [--scenario NAME|FILE] [--scenario-list] [--faults NAME|FILE] \
-                     [--trace-out FILE] [--metrics-json FILE] \
+                     [--trace-out FILE] [--metrics-json FILE] [--json FILE] \
                      [table1 switch recover table2 fig4 \
                      affinity race detection fig7 baseline areasweep userprober \
                      preemption portability threshold predictor remediation \
-                     kprobertrace telemetry analysis grid faults all]"
+                     kprobertrace telemetry analysis grid faults bench all]"
                 );
                 std::process::exit(0);
             }
@@ -195,6 +211,9 @@ fn parse_args() -> Opts {
         // campaign".
         if analyze {
             experiments.push("analysis".to_string());
+        } else if json_out.is_some() {
+            // Bare --json means "measure and snapshot the hot path".
+            experiments.push("bench".to_string());
         } else if trace_out.is_some() || metrics_json.is_some() {
             experiments.push("telemetry".to_string());
         } else if faults.is_some() {
@@ -217,6 +236,7 @@ fn parse_args() -> Opts {
         analyze,
         trace_out,
         metrics_json,
+        json_out,
         scenario,
         scenario_set,
         faults_set,
@@ -304,9 +324,32 @@ fn main() {
     if opts.experiments.iter().any(|e| e == "faults") {
         run_faults(&opts);
     }
+    // Bench reads the wall clock, so its numbers are machine-local; like
+    // grid/faults it runs only by name.
+    if opts.experiments.iter().any(|e| e == "bench") {
+        run_bench(&opts);
+    }
     if (want("analysis") || opts.analyze) && !run_analysis(&opts) {
         std::process::exit(1);
     }
+}
+
+fn run_bench(o: &Opts) {
+    println!("== Hot-path microbenchmarks (ROADMAP item 1 trajectory) ==");
+    let report = perf::run(!o.full, o.seed);
+    print!("{report}");
+    if report.seeds_per_sec.speedup < 3.0 {
+        println!(
+            "   WARNING: seeds/sec speedup {:.2}x is below the 3x trajectory gate",
+            report.seeds_per_sec.speedup
+        );
+    }
+    if let Some(path) = &o.json_out {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote bench snapshot to {path}");
+    }
+    println!();
 }
 
 fn run_grid(o: &Opts) {

@@ -94,6 +94,7 @@ impl IntegrityChecker {
         area: usize,
         observed_bytes: &[u8],
     ) -> VerifyOutcome {
+        // Enum-dispatched, slice-batched digest (no boxed hasher per round).
         let digest = hash_bytes(self.algorithm, observed_bytes);
         let outcome = self
             .table

@@ -65,13 +65,21 @@ impl HashAlgorithm {
         HashAlgorithm::Fnv1a,
     ];
 
-    /// Creates a boxed hasher for this algorithm.
+    /// Creates a boxed hasher for this algorithm. Prefer
+    /// [`HashAlgorithm::kind`] on hot paths — it allocates nothing and
+    /// dispatches without a vtable.
     pub fn new_hasher(self) -> Box<dyn KernelHasher> {
         match self {
             HashAlgorithm::Djb2 => Box::new(Djb2::new()),
             HashAlgorithm::Sdbm => Box::new(Sdbm::new()),
             HashAlgorithm::Fnv1a => Box::new(Fnv1a::new()),
         }
+    }
+
+    /// Creates an enum-dispatched hasher for this algorithm (no allocation,
+    /// no virtual call).
+    pub fn kind(self) -> HasherKind {
+        HasherKind::new(self)
     }
 
     /// Stable lowercase name.
@@ -90,11 +98,140 @@ impl std::fmt::Display for HashAlgorithm {
     }
 }
 
-/// One-shot hash of a byte slice.
+/// One-shot hash of a byte slice. Allocation-free: dispatches through
+/// [`HasherKind`], not a boxed trait object.
 pub fn hash_bytes(algorithm: HashAlgorithm, bytes: &[u8]) -> u64 {
-    let mut h = algorithm.new_hasher();
+    let mut h = HasherKind::new(algorithm);
     h.update(bytes);
     h.finish()
+}
+
+/// `m^n` with wrapping multiplication — the batching constants below.
+const fn pow_wrapping(m: u64, n: u32) -> u64 {
+    let mut acc = 1u64;
+    let mut i = 0;
+    while i < n {
+        acc = acc.wrapping_mul(m);
+        i += 1;
+    }
+    acc
+}
+
+/// Word-at-a-time update for the affine recurrence `h' = h·M + b`.
+///
+/// Eight affine steps compose into one affine step with multiplier `M⁸`
+/// exactly (everything is mod 2^64 with wrapping arithmetic), so this
+/// produces bit-identical digests to the per-byte loop while touching the
+/// state once per 8 bytes. The tail shorter than a word falls back to the
+/// per-byte recurrence, preserving byte order for unaligned lengths.
+#[inline]
+fn affine_update<const M: u64>(state: &mut u64, bytes: &[u8]) {
+    // `M` is a const generic, so these fold to compile-time constants in
+    // each monomorphization.
+    let m2 = pow_wrapping(M, 2);
+    let m3 = pow_wrapping(M, 3);
+    let m4 = pow_wrapping(M, 4);
+    let m5 = pow_wrapping(M, 5);
+    let m6 = pow_wrapping(M, 6);
+    let m7 = pow_wrapping(M, 7);
+    let m8 = pow_wrapping(M, 8);
+    let mut h = *state;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in chunks.by_ref() {
+        let &[b0, b1, b2, b3, b4, b5, b6, b7] = chunk else {
+            continue; // unreachable: chunks_exact(8) yields 8-byte slices
+        };
+        h = h
+            .wrapping_mul(m8)
+            .wrapping_add(u64::from(b0).wrapping_mul(m7))
+            .wrapping_add(u64::from(b1).wrapping_mul(m6))
+            .wrapping_add(u64::from(b2).wrapping_mul(m5))
+            .wrapping_add(u64::from(b3).wrapping_mul(m4))
+            .wrapping_add(u64::from(b4).wrapping_mul(m3))
+            .wrapping_add(u64::from(b5).wrapping_mul(m2))
+            .wrapping_add(u64::from(b6).wrapping_mul(M))
+            .wrapping_add(u64::from(b7));
+    }
+    for &b in chunks.remainder() {
+        h = h.wrapping_mul(M).wrapping_add(u64::from(b));
+    }
+    *state = h;
+}
+
+/// Enum-dispatched hasher: the same contract as [`KernelHasher`] without
+/// the per-call allocation or vtable indirection of `Box<dyn KernelHasher>`.
+/// This is what every hot path (scan-window digesting, integrity rounds)
+/// uses; the boxed form remains for runtime-configured strategy objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HasherKind {
+    /// Bernstein's djb2 — the paper's choice.
+    Djb2(Djb2),
+    /// The sdbm hash from the same collection.
+    Sdbm(Sdbm),
+    /// 64-bit FNV-1a.
+    Fnv1a(Fnv1a),
+}
+
+impl HasherKind {
+    /// Creates a hasher in the initial state for `algorithm`.
+    pub fn new(algorithm: HashAlgorithm) -> Self {
+        match algorithm {
+            HashAlgorithm::Djb2 => HasherKind::Djb2(Djb2::new()),
+            HashAlgorithm::Sdbm => HasherKind::Sdbm(Sdbm::new()),
+            HashAlgorithm::Fnv1a => HasherKind::Fnv1a(Fnv1a::new()),
+        }
+    }
+
+    /// Resets to the initial state.
+    pub fn reset(&mut self) {
+        match self {
+            HasherKind::Djb2(h) => KernelHasher::reset(h),
+            HasherKind::Sdbm(h) => KernelHasher::reset(h),
+            HasherKind::Fnv1a(h) => KernelHasher::reset(h),
+        }
+    }
+
+    /// Feeds bytes into the hash state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        match self {
+            HasherKind::Djb2(h) => KernelHasher::update(h, bytes),
+            HasherKind::Sdbm(h) => KernelHasher::update(h, bytes),
+            HasherKind::Fnv1a(h) => KernelHasher::update(h, bytes),
+        }
+    }
+
+    /// Returns the current digest without resetting.
+    pub fn finish(&self) -> u64 {
+        match self {
+            HasherKind::Djb2(h) => KernelHasher::finish(h),
+            HasherKind::Sdbm(h) => KernelHasher::finish(h),
+            HasherKind::Fnv1a(h) => KernelHasher::finish(h),
+        }
+    }
+
+    /// Stable algorithm name.
+    pub fn algorithm(&self) -> HashAlgorithm {
+        match self {
+            HasherKind::Djb2(_) => HashAlgorithm::Djb2,
+            HasherKind::Sdbm(_) => HashAlgorithm::Sdbm,
+            HasherKind::Fnv1a(_) => HashAlgorithm::Fnv1a,
+        }
+    }
+}
+
+impl KernelHasher for HasherKind {
+    fn reset(&mut self) {
+        HasherKind::reset(self);
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        HasherKind::update(self, bytes);
+    }
+    fn finish(&self) -> u64 {
+        HasherKind::finish(self)
+    }
+    fn algorithm(&self) -> HashAlgorithm {
+        HasherKind::algorithm(self)
+    }
 }
 
 /// Bernstein's djb2 hash (`h = h * 33 + b`, seed 5381), 64-bit state.
@@ -105,6 +242,7 @@ pub struct Djb2 {
 
 impl Djb2 {
     const SEED: u64 = 5381;
+    const M: u64 = 33;
 
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
@@ -122,12 +260,11 @@ impl KernelHasher for Djb2 {
     fn reset(&mut self) {
         self.state = Self::SEED;
     }
+    // The recurrence `h' = h·33 + b` is affine, so eight steps compose into
+    // one exactly (mod 2^64): `h' = h·33⁸ + Σ bᵢ·33^(7-i)`. Same digest as
+    // the per-byte loop, one multiply chain per 8 bytes.
     fn update(&mut self, bytes: &[u8]) {
-        let mut h = self.state;
-        for &b in bytes {
-            h = h.wrapping_mul(33).wrapping_add(u64::from(b));
-        }
-        self.state = h;
+        affine_update::<{ Self::M }>(&mut self.state, bytes);
     }
     fn finish(&self) -> u64 {
         self.state
@@ -144,6 +281,10 @@ pub struct Sdbm {
 }
 
 impl Sdbm {
+    /// `(h << 6) + (h << 16) - h` is `h · 65599`; naming the multiplier is
+    /// what lets the batched loop treat sdbm like djb2.
+    const M: u64 = 65599;
+
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
         Sdbm { state: 0 }
@@ -154,15 +295,10 @@ impl KernelHasher for Sdbm {
     fn reset(&mut self) {
         self.state = 0;
     }
+    // Affine like djb2 (`h' = h·65599 + b`), so the same exact 8-byte
+    // composition applies.
     fn update(&mut self, bytes: &[u8]) {
-        let mut h = self.state;
-        for &b in bytes {
-            h = u64::from(b)
-                .wrapping_add(h << 6)
-                .wrapping_add(h << 16)
-                .wrapping_sub(h);
-        }
-        self.state = h;
+        affine_update::<{ Self::M }>(&mut self.state, bytes);
     }
     fn finish(&self) -> u64 {
         self.state
@@ -200,11 +336,28 @@ impl KernelHasher for Fnv1a {
     fn reset(&mut self) {
         self.state = Self::OFFSET;
     }
+    // FNV-1a's xor-then-multiply is not affine in `h`, so unlike djb2/sdbm
+    // the steps cannot be composed algebraically. The win here is purely an
+    // unrolled loop: one bounds check per 8 bytes and no loop-carried
+    // branch, byte order untouched.
     fn update(&mut self, bytes: &[u8]) {
         let mut h = self.state;
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(Self::PRIME);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let &[b0, b1, b2, b3, b4, b5, b6, b7] = chunk else {
+                continue; // unreachable: chunks_exact(8) yields 8-byte slices
+            };
+            h = (h ^ u64::from(b0)).wrapping_mul(Self::PRIME);
+            h = (h ^ u64::from(b1)).wrapping_mul(Self::PRIME);
+            h = (h ^ u64::from(b2)).wrapping_mul(Self::PRIME);
+            h = (h ^ u64::from(b3)).wrapping_mul(Self::PRIME);
+            h = (h ^ u64::from(b4)).wrapping_mul(Self::PRIME);
+            h = (h ^ u64::from(b5)).wrapping_mul(Self::PRIME);
+            h = (h ^ u64::from(b6)).wrapping_mul(Self::PRIME);
+            h = (h ^ u64::from(b7)).wrapping_mul(Self::PRIME);
+        }
+        for &b in chunks.remainder() {
+            h = (h ^ u64::from(b)).wrapping_mul(Self::PRIME);
         }
         self.state = h;
     }
@@ -276,6 +429,91 @@ mod tests {
         assert_eq!(HashAlgorithm::Djb2.to_string(), "djb2");
         assert_eq!(HashAlgorithm::Sdbm.to_string(), "sdbm");
         assert_eq!(HashAlgorithm::Fnv1a.to_string(), "fnv1a");
+    }
+
+    /// The pre-batching per-byte recurrences, kept verbatim as the reference
+    /// the word-batched loops must reproduce bit-for-bit.
+    fn per_byte_reference(alg: HashAlgorithm, bytes: &[u8]) -> u64 {
+        match alg {
+            HashAlgorithm::Djb2 => {
+                let mut h: u64 = 5381;
+                for &b in bytes {
+                    h = h.wrapping_mul(33).wrapping_add(u64::from(b));
+                }
+                h
+            }
+            HashAlgorithm::Sdbm => {
+                let mut h: u64 = 0;
+                for &b in bytes {
+                    h = u64::from(b)
+                        .wrapping_add(h << 6)
+                        .wrapping_add(h << 16)
+                        .wrapping_sub(h);
+                }
+                h
+            }
+            HashAlgorithm::Fnv1a => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &b in bytes {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h
+            }
+        }
+    }
+
+    /// Satellite: word-batched digests equal the per-byte reference for all
+    /// three algorithms — empty slice, sub-word inputs, word-multiple
+    /// inputs, and every unaligned head/tail length around the 8-byte
+    /// batching boundary.
+    #[test]
+    fn batched_equals_per_byte_reference() {
+        let data: Vec<u8> = (0u16..257)
+            .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+            .collect();
+        for alg in HashAlgorithm::ALL {
+            assert_eq!(
+                hash_bytes(alg, b""),
+                per_byte_reference(alg, b""),
+                "{alg} empty"
+            );
+            for len in 0..=64 {
+                for start in 0..8.min(data.len() - len) {
+                    let window = &data[start..start + len];
+                    assert_eq!(
+                        hash_bytes(alg, window),
+                        per_byte_reference(alg, window),
+                        "{alg} start={start} len={len}"
+                    );
+                }
+            }
+            // A window far larger than one unroll, at an odd offset.
+            let window = &data[3..250];
+            assert_eq!(
+                hash_bytes(alg, window),
+                per_byte_reference(alg, window),
+                "{alg} large"
+            );
+        }
+    }
+
+    /// Boxed trait-object dispatch and enum dispatch agree (they share the
+    /// concrete hashers, but the boxed path must not drift).
+    #[test]
+    fn kind_matches_boxed_hasher() {
+        let input = b"secure-world scan window";
+        for alg in HashAlgorithm::ALL {
+            let mut boxed = alg.new_hasher();
+            boxed.update(input);
+            let mut kind = alg.kind();
+            kind.update(input);
+            assert_eq!(boxed.finish(), kind.finish(), "{alg}");
+            assert_eq!(kind.algorithm(), alg);
+            kind.reset();
+            kind.update(b"x");
+            assert_eq!(kind.finish(), hash_bytes(alg, b"x"), "{alg} reset");
+        }
     }
 
     proptest! {

@@ -26,7 +26,7 @@ pub mod scan;
 pub use addr::{MemRange, PhysAddr};
 pub use error::MemError;
 pub use layout::{KernelLayout, KernelSection, SectionKind};
-pub use phys::PhysMemory;
+pub use phys::{MemView, PhysMemory};
 pub use scan::ScanWindow;
 
 /// Total size of the paper's monitored kernel, in bytes (§IV-C).

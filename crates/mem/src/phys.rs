@@ -5,6 +5,7 @@ use crate::error::MemError;
 use crate::image;
 use crate::layout::KernelLayout;
 use crate::perms::PagePermissions;
+use satin_hash::{HashAlgorithm, HasherKind};
 
 /// A record of one memory write, kept so in-flight scans can resolve what a
 /// sequential scanner observed (see [`crate::ScanWindow`]).
@@ -170,6 +171,68 @@ impl PhysMemory {
             })
         }
     }
+
+    /// Borrows `range` as a [`MemView`]: one bounds check here, then every
+    /// access through the view — including its slice-batched [`MemView::digest`]
+    /// — is straight contiguous-slice work with no further checks.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if `range` is not inside memory.
+    pub fn view(&self, range: MemRange) -> Result<MemView<'_>, MemError> {
+        Ok(MemView {
+            range,
+            bytes: self.read(range)?,
+        })
+    }
+}
+
+/// A borrowed, bounds-checked-once window over [`PhysMemory`].
+///
+/// This is the secure path's unit of work: where the old flow re-checked
+/// bounds (and, for digests, allocated a boxed hasher) per operation, a view
+/// is validated once when the window opens and then hands out the backing
+/// slice directly. `bytes()` returns the full-lifetime `&'a [u8]`, so a view
+/// can be consumed while the borrow outlives it.
+#[derive(Debug, Clone, Copy)]
+pub struct MemView<'a> {
+    range: MemRange,
+    bytes: &'a [u8],
+}
+
+impl<'a> MemView<'a> {
+    /// The physical range this view covers.
+    pub fn range(&self) -> MemRange {
+        self.range
+    }
+
+    /// The backing bytes, borrowed for the memory's full lifetime.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.range.len()
+    }
+
+    /// `true` if the view covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// One-shot digest of the viewed bytes: enum-dispatched, slice-batched,
+    /// allocation-free.
+    pub fn digest(&self, algorithm: HashAlgorithm) -> u64 {
+        let mut h = HasherKind::new(algorithm);
+        h.update(self.bytes);
+        h.finish()
+    }
+
+    /// Copies the viewed bytes out (the scan window's snapshot).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.bytes.to_vec()
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +322,27 @@ mod tests {
         let ptr = mem.read_u64(addr).unwrap();
         let text = layout.section(".text").unwrap().range();
         assert!(text.contains(PhysAddr::new(ptr)));
+    }
+
+    #[test]
+    fn view_borrows_and_digests_like_read() {
+        use satin_hash::hash_bytes;
+        let layout = KernelLayout::paper();
+        let mem = PhysMemory::with_image(&layout, 9);
+        let text = layout.section(".text").unwrap().range();
+        let view = mem.view(text).unwrap();
+        assert_eq!(view.range(), text);
+        assert_eq!(view.len(), text.len());
+        assert!(!view.is_empty());
+        assert_eq!(view.bytes(), mem.read(text).unwrap());
+        for alg in HashAlgorithm::ALL {
+            assert_eq!(view.digest(alg), hash_bytes(alg, mem.read(text).unwrap()));
+        }
+        assert_eq!(view.to_vec(), mem.read(text).unwrap().to_vec());
+        // Out-of-bounds views fail at creation, not at use.
+        assert!(mem
+            .view(MemRange::new(PhysAddr::new(u64::MAX - 4), 100))
+            .is_err());
     }
 
     #[test]

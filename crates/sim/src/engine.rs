@@ -96,6 +96,13 @@ impl<E> Simulator<E> {
         self.queue.len()
     }
 
+    /// Pre-sizes the event queue for about `n` in-flight events. A sizing
+    /// hint only — purely an allocation optimization, never observable in
+    /// event order or timing.
+    pub fn reserve_events(&mut self, n: usize) {
+        self.queue.reserve(n);
+    }
+
     /// Installs an [`SimObserver`] notified on every schedule and dispatch.
     ///
     /// Observers are read-only instrumentation: installing (or removing) one

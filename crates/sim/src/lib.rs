@@ -39,7 +39,7 @@ pub mod trace;
 pub use engine::Simulator;
 pub use error::SimError;
 pub use observe::{Mark, MarkTag, QueueDepthProbe, SimObserver};
-pub use queue::EventQueue;
+pub use queue::{BaselineHeapQueue, EventQueue};
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceCategory, TraceEvent, TraceLog};

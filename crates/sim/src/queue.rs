@@ -1,20 +1,61 @@
 //! Time-ordered event queue with stable FIFO tie-breaking.
+//!
+//! Two implementations share one contract — pop in nondecreasing `(time,
+//! seq)` order, FIFO among equal times:
+//!
+//! - [`EventQueue`] — a hierarchical timing wheel, the hot-path queue the
+//!   engine runs on. Near-term events live in a small sorted run popped from
+//!   the back in O(1); mid-term events hash into a circular bucket wheel
+//!   (one `Vec` per ~4 µs slot) and are sorted only when their slot becomes
+//!   current; far-future events beyond the wheel window sit in a sorted
+//!   overflow level that drains into the wheel as time advances.
+//! - [`BaselineHeapQueue`] — the original `BinaryHeap` implementation, kept
+//!   as the executable reference model. The property tests drive both with
+//!   the same program and assert identical `(time, seq, payload)` pop
+//!   sequences, and the criterion suite benches one against the other.
+//!
+//! Because every entry carries a unique `(time, seq)` key, the pop order is
+//! a *total* order — any correct implementation produces byte-identical
+//! dispatch sequences, which is why swapping the wheel in cannot perturb a
+//! golden trace (DESIGN.md §13).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An entry in the heap. Ordered by `(time, seq)` ascending; the payload does
-/// not participate in ordering, so `E` needs no `Ord` bound.
+/// Nanoseconds per wheel slot, as a shift: 2^12 = 4096 ns ≈ 4 µs. Chosen so
+/// the dense tick/dispatch traffic (tens of µs apart) spreads over a few
+/// slots instead of piling into one.
+const BUCKET_SHIFT: u32 = 12;
+
+/// Slots in the wheel window. Power of two so the slot→bucket map is a mask.
+/// 256 × 4096 ns ≈ 1.05 ms of look-ahead; anything further goes to overflow.
+const NUM_BUCKETS: u64 = 256;
+
+/// The wheel slot an instant falls in.
+#[inline]
+fn slot_of(time: SimTime) -> u64 {
+    time.as_nanos() >> BUCKET_SHIFT
+}
+
+/// An entry in the queue. Ordered by `(time, seq)` ascending; the payload
+/// does not participate in ordering, so `E` needs no `Ord` bound.
 struct Entry<E> {
     time: SimTime,
     seq: u64,
     payload: E,
 }
 
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -26,11 +67,16 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the earliest event first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
+}
+
+/// Inserts `entry` into `run`, which is sorted *descending* by `(time, seq)`
+/// (earliest at the back, so the earliest pops in O(1)).
+fn insert_desc<E>(run: &mut Vec<Entry<E>>, entry: Entry<E>) {
+    let key = entry.key();
+    let pos = run.partition_point(|e| e.key() > key);
+    run.insert(pos, entry);
 }
 
 /// A priority queue of `(SimTime, E)` pairs that pops events in nondecreasing
@@ -38,7 +84,7 @@ impl<E> Ord for Entry<E> {
 ///
 /// FIFO tie-breaking is what makes the whole simulation deterministic: two
 /// events scheduled for the same nanosecond always dispatch in the order they
-/// were scheduled, independent of heap internals.
+/// were scheduled, independent of queue internals.
 ///
 /// # Example
 ///
@@ -51,9 +97,24 @@ impl<E> Ord for Entry<E> {
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Current-slot run, sorted descending by `(time, seq)`: the earliest
+    /// entry is at the back, so `pop` is a `Vec::pop`. Also absorbs pushes
+    /// at or before the wheel base (same-instant reschedules).
+    near: Vec<Entry<E>>,
+    /// Wheel base: every entry in `near` has `slot < near_slot`; the wheel
+    /// window covers `[near_slot, near_slot + NUM_BUCKETS)`.
+    near_slot: u64,
+    /// The circular wheel. Bucket `slot & (NUM_BUCKETS - 1)` holds the
+    /// entries for `slot`; within the window the map is injective, so a
+    /// bucket never mixes slots. Unsorted until drained.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Entries currently in `buckets`.
+    wheel_len: usize,
+    /// Far-future entries (`slot >= near_slot + NUM_BUCKETS`), sorted
+    /// descending; pulled into the wheel as the window advances.
+    overflow: Vec<Entry<E>>,
+    len: usize,
     next_seq: u64,
 }
 
@@ -61,6 +122,191 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            near: Vec::new(),
+            near_slot: 0,
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            overflow: Vec::new(),
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Pre-sizes the near run for about `n` in-flight events, so a fresh
+    /// per-seed queue doesn't re-grow during warm-up.
+    pub fn reserve(&mut self, n: usize) {
+        self.near.reserve(n);
+    }
+
+    /// Enqueues `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.route(Entry { time, seq, payload });
+        self.len += 1;
+    }
+
+    /// Places an entry in the level its slot belongs to.
+    #[inline]
+    fn route(&mut self, entry: Entry<E>) {
+        let slot = slot_of(entry.time);
+        if slot < self.near_slot {
+            insert_desc(&mut self.near, entry);
+        } else if slot - self.near_slot < NUM_BUCKETS {
+            let idx = (slot & (NUM_BUCKETS - 1)) as usize;
+            self.buckets
+                .get_mut(idx)
+                .expect("bucket index is masked to wheel size")
+                .push(entry);
+            self.wheel_len += 1;
+        } else {
+            insert_desc(&mut self.overflow, entry);
+        }
+    }
+
+    /// Refills `near` from the wheel (and the wheel from overflow) until the
+    /// earliest pending entry sits at the back of `near`. Caller guarantees
+    /// the queue is non-empty.
+    fn advance(&mut self) {
+        while self.near.is_empty() {
+            // Pull every overflow entry that now fits the window *before*
+            // scanning: the window may have moved far enough that an
+            // overflow entry is earlier than anything already in the wheel.
+            while let Some(e) = self.overflow.last() {
+                if slot_of(e.time) - self.near_slot < NUM_BUCKETS {
+                    let entry = self.overflow.pop().expect("just peeked");
+                    self.route(entry);
+                } else {
+                    break;
+                }
+            }
+            if self.wheel_len == 0 {
+                // Nothing within a window of the base: jump straight to the
+                // earliest far-future slot and pull again.
+                let earliest = self.overflow.last().expect("queue is non-empty");
+                self.near_slot = slot_of(earliest.time);
+                continue;
+            }
+            // Scan the window for the first non-empty bucket and promote it.
+            for off in 0..NUM_BUCKETS {
+                let slot = self.near_slot + off;
+                let idx = (slot & (NUM_BUCKETS - 1)) as usize;
+                let bucket = self
+                    .buckets
+                    .get_mut(idx)
+                    .expect("bucket index is masked to wheel size");
+                if bucket.is_empty() {
+                    continue;
+                }
+                self.wheel_len -= bucket.len();
+                // Sort descending so the earliest (smallest key) is last;
+                // `sort_unstable` is fine because `(time, seq)` keys are
+                // unique — FIFO order is already encoded in `seq`.
+                bucket.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                // `append` leaves the bucket's capacity in place for reuse.
+                self.near.append(bucket);
+                self.near_slot = slot + 1;
+                break;
+            }
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    #[must_use = "popping discards the event if the result is unused"]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_entry().map(|(t, _, e)| (t, e))
+    }
+
+    /// Like [`EventQueue::pop`], but also returns the event's sequence number
+    /// (the FIFO tie-breaker assigned at push time).
+    #[must_use = "popping discards the event if the result is unused"]
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance();
+        let e = self.near.pop().expect("advance leaves near non-empty");
+        self.len -= 1;
+        Some((e.time, e.seq, e.payload))
+    }
+
+    /// The sequence number the *next* pushed event will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The time of the earliest pending event, if any.
+    ///
+    /// Takes `&mut self` because answering may promote a wheel bucket into
+    /// the sorted near run (the earliest entry's position isn't known until
+    /// its slot is sorted).
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance();
+        self.near.last().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all pending events. The sequence counter is *not* reset: seq
+    /// values stay unique across a clear, so observers that log them never
+    /// see a duplicate within one simulation.
+    pub fn clear(&mut self) {
+        self.near.clear();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.wheel_len = 0;
+        self.overflow.clear();
+        self.len = 0;
+        self.near_slot = 0;
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len)
+            .field("next_seq", &self.next_seq)
+            .field("near_slot", &self.near_slot)
+            .field("wheel_len", &self.wheel_len)
+            .field("overflow_len", &self.overflow.len())
+            .finish()
+    }
+}
+
+/// The original `BinaryHeap`-backed queue, retained as the executable
+/// reference model for [`EventQueue`] and as the baseline side of the
+/// queue microbenchmarks. Same contract, same API (except `peek_time`,
+/// which stays `&self` here).
+#[derive(Default)]
+pub struct BaselineHeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> BaselineHeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BaselineHeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -74,12 +320,13 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
+    #[must_use = "popping discards the event if the result is unused"]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.pop_entry().map(|(t, _, e)| (t, e))
     }
 
-    /// Like [`EventQueue::pop`], but also returns the event's sequence number
-    /// (the FIFO tie-breaker assigned at push time).
+    /// Like `pop`, but also returns the event's sequence number.
+    #[must_use = "popping discards the event if the result is unused"]
     pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
         self.heap.pop().map(|e| (e.time, e.seq, e.payload))
     }
@@ -90,11 +337,13 @@ impl<E> EventQueue<E> {
     }
 
     /// The time of the earliest pending event, if any.
+    #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
     }
 
     /// Number of pending events.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -104,15 +353,15 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events, preserving the sequence counter.
     pub fn clear(&mut self) {
         self.heap.clear();
     }
 }
 
-impl<E> std::fmt::Debug for EventQueue<E> {
+impl<E> std::fmt::Debug for BaselineHeapQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
+        f.debug_struct("BaselineHeapQueue")
             .field("len", &self.heap.len())
             .field("next_seq", &self.next_seq)
             .finish()
@@ -160,6 +409,74 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    #[test]
+    fn next_seq_survives_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), 'a');
+        q.push(SimTime::from_nanos(2), 'b');
+        assert_eq!(q.next_seq(), 2);
+        q.clear();
+        assert_eq!(q.next_seq(), 2, "clear must not recycle sequence numbers");
+        q.push(SimTime::from_nanos(3), 'c');
+        assert_eq!(q.pop_entry(), Some((SimTime::from_nanos(3), 2, 'c')));
+    }
+
+    #[test]
+    fn far_future_overflow_round_trips() {
+        let mut q = EventQueue::new();
+        // Far beyond the wheel window (256 × 4096 ns ≈ 1.05 ms).
+        q.push(SimTime::from_secs(10), 'z');
+        q.push(SimTime::from_nanos(5), 'a');
+        q.push(SimTime::from_millis(2), 'm');
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 'a')));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), 'm')));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), 'z')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wheel_entry_does_not_overtake_promoted_overflow() {
+        // Regression shape: an overflow entry whose slot enters the window
+        // only after the base advances must still pop before a later-pushed,
+        // later-timed wheel entry.
+        let mut q = EventQueue::new();
+        let window = 1u64 << BUCKET_SHIFT << 8; // NUM_BUCKETS slots in ns
+        q.push(SimTime::from_nanos(window + 100), 'b'); // overflow at push
+        q.push(SimTime::from_nanos(10), 'a');
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), 'a')));
+        // Lands inside the advanced window, *later* than the overflow entry.
+        q.push(SimTime::from_nanos(window + 200), 'c');
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(window + 100), 'b')));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(window + 200), 'c')));
+    }
+
+    /// One step of an interleaved push/pop program (satellite: wheel vs.
+    /// reference model).
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u64),
+        Pop,
+        Clear,
+    }
+
+    struct OpStrategy;
+
+    impl Strategy for OpStrategy {
+        type Value = Op;
+        fn sample(&self, rng: &mut proptest::TestRng) -> Op {
+            match rng.below(10) {
+                // Near-term: lands in the current slot or the wheel window.
+                0..=3 => Op::Push(rng.below(2_000_000)),
+                // Far-future: guaranteed past the wheel window (> ~1.05 ms),
+                // up to seconds out — exercises the overflow level.
+                4..=5 => Op::Push(2_000_000 + rng.below(10_000_000_000)),
+                6..=8 => Op::Pop,
+                // Rare: exercises post-clear reuse mid-program.
+                _ => Op::Clear,
+            }
+        }
+    }
+
     proptest! {
         /// Invariant 1 (DESIGN.md): events dispatch in nondecreasing time
         /// order, FIFO among equal times.
@@ -178,6 +495,44 @@ mod tests {
                     }
                 }
                 last = Some((t, idx));
+            }
+        }
+
+        /// The timing wheel is observationally identical to the reference
+        /// heap: same `(time, seq, payload)` at every pop, same `len` and
+        /// `next_seq` after every step, for arbitrary interleaved programs
+        /// including far-future overflow and post-`clear()` reuse.
+        #[test]
+        fn prop_wheel_matches_reference_model(
+            ops in proptest::collection::vec(OpStrategy, 0..400)
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut model = BaselineHeapQueue::new();
+            for (step, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Push(t) => {
+                        wheel.push(SimTime::from_nanos(*t), step);
+                        model.push(SimTime::from_nanos(*t), step);
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(wheel.pop_entry(), model.pop_entry());
+                    }
+                    Op::Clear => {
+                        wheel.clear();
+                        model.clear();
+                    }
+                }
+                prop_assert_eq!(wheel.len(), model.len());
+                prop_assert_eq!(wheel.next_seq(), model.next_seq());
+                prop_assert_eq!(wheel.peek_time(), model.peek_time());
+            }
+            // Drain: the tails must match exactly too.
+            loop {
+                let (w, m) = (wheel.pop_entry(), model.pop_entry());
+                prop_assert_eq!(&w, &m);
+                if w.is_none() {
+                    break;
+                }
             }
         }
     }

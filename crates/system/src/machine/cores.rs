@@ -1,6 +1,16 @@
-//! Per-core state shared by the normal and secure paths.
+//! Per-core state shared by the normal and secure paths, laid out as a
+//! struct-of-arrays.
+//!
+//! The event loop touches exactly one field family per event — `on_tick`
+//! reads tick state, `try_dispatch` reads running/token, the secure exit
+//! sweeps the two pollution arrays machine-wide — so each family lives in
+//! its own dense array indexed by [`CoreId`]. A tick on core 2 then touches
+//! one cache line of tick state instead of striding across full per-core
+//! records, and the machine-wide pollution sweep is two contiguous array
+//! passes (DESIGN.md §13).
 
 use crate::body::Then;
+use satin_hw::CoreId;
 use satin_kernel::tick::TickState;
 use satin_kernel::{KernelConfig, TaskId};
 use satin_sim::SimTime;
@@ -28,33 +38,103 @@ pub(super) struct SecureSession {
     pub(super) span: SpanId,
 }
 
-/// Everything the event loop tracks per core.
-pub(super) struct CoreState {
-    pub(super) running: Option<Running>,
-    pub(super) next_token: u64,
+/// Everything the event loop tracks per core, one array per field family.
+/// All arrays have the same length (the core count), so `CoreId::index`
+/// is valid in every one of them.
+pub(super) struct CoreStates {
+    running: Vec<Option<Running>>,
+    next_token: Vec<u64>,
     /// Generation guard for `SecureTimerFire`: re-arming bumps it, so a
     /// superseded (already-queued) fire is ignored on delivery.
-    pub(super) timer_gen: u64,
-    pub(super) secure: Option<SecureSession>,
-    pub(super) pollution_until: SimTime,
+    timer_gen: Vec<u64>,
+    secure: Vec<Option<SecureSession>>,
+    pollution_until: Vec<SimTime>,
     /// Strength multiplier of the current interference window (scaled by
     /// how loaded the machine was when the window opened — interrupting a
     /// busy machine disturbs more state, which is why the paper's 6-task
     /// overhead exceeds the 1-task overhead).
-    pub(super) pollution_strength: f64,
-    pub(super) tick: TickState,
+    pollution_strength: Vec<f64>,
+    tick: Vec<TickState>,
 }
 
-impl CoreState {
-    pub(super) fn new(config: &KernelConfig) -> Self {
-        CoreState {
-            running: None,
-            next_token: 0,
-            timer_gen: 0,
-            secure: None,
-            pollution_until: SimTime::ZERO,
-            pollution_strength: 1.0,
-            tick: TickState::new(config),
+impl CoreStates {
+    pub(super) fn new(n: usize, config: &KernelConfig) -> Self {
+        CoreStates {
+            running: vec![None; n],
+            next_token: vec![0; n],
+            timer_gen: vec![0; n],
+            secure: vec![None; n],
+            pollution_until: vec![SimTime::ZERO; n],
+            pollution_strength: vec![1.0; n],
+            tick: (0..n).map(|_| TickState::new(config)).collect(),
         }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// The busy period running on `core` (copied out; `Running` is small).
+    pub(super) fn running(&self, core: CoreId) -> Option<Running> {
+        self.running[core.index()]
+    }
+
+    pub(super) fn running_mut(&mut self, core: CoreId) -> &mut Option<Running> {
+        &mut self.running[core.index()]
+    }
+
+    /// Returns the next stale-completion token for `core` and advances it.
+    pub(super) fn take_token(&mut self, core: CoreId) -> u64 {
+        let token = self.next_token[core.index()];
+        self.next_token[core.index()] += 1;
+        token
+    }
+
+    pub(super) fn timer_gen(&self, core: CoreId) -> u64 {
+        self.timer_gen[core.index()]
+    }
+
+    pub(super) fn bump_timer_gen(&mut self, core: CoreId) {
+        self.timer_gen[core.index()] += 1;
+    }
+
+    pub(super) fn secure(&self, core: CoreId) -> Option<SecureSession> {
+        self.secure[core.index()]
+    }
+
+    pub(super) fn in_secure(&self, core: CoreId) -> bool {
+        self.secure[core.index()].is_some()
+    }
+
+    pub(super) fn set_secure(&mut self, core: CoreId, session: Option<SecureSession>) {
+        self.secure[core.index()] = session;
+    }
+
+    /// The interference window affecting `core`: `(until, strength)`.
+    pub(super) fn pollution(&self, core: CoreId) -> (SimTime, f64) {
+        (
+            self.pollution_until[core.index()],
+            self.pollution_strength[core.index()],
+        )
+    }
+
+    /// Opens a machine-wide interference window: every core's deadline is
+    /// pushed to at least `until`, and the strength is replaced. Two dense
+    /// array sweeps — the SoA layout's best case.
+    pub(super) fn open_pollution_window(&mut self, until: SimTime, strength: f64) {
+        for u in &mut self.pollution_until {
+            *u = u.max_of(until);
+        }
+        for s in &mut self.pollution_strength {
+            *s = strength;
+        }
+    }
+
+    pub(super) fn tick(&self, core: CoreId) -> &TickState {
+        &self.tick[core.index()]
+    }
+
+    pub(super) fn tick_mut(&mut self, core: CoreId) -> &mut TickState {
+        &mut self.tick[core.index()]
     }
 }

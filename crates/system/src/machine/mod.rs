@@ -31,7 +31,7 @@ use crate::metrics::SysMetrics;
 use crate::service::{BootCtx, ScanRequest, SecureService};
 use crate::stats::{SysStats, TaskWork};
 use crate::timebuf::SharedTimeBuffer;
-use cores::CoreState;
+use cores::CoreStates;
 use satin_faults::{FaultInjector, FaultStats, SatinError};
 use satin_hw::{CoreId, Platform};
 use satin_kernel::syscall::SyscallTable;
@@ -97,7 +97,7 @@ pub struct System {
     trace: TraceLog,
     telemetry: Timeline,
     stats: SysStats,
-    cores: Vec<CoreState>,
+    cores: CoreStates,
     scans: Vec<ActiveScan>,
     rng_sched: SimRng,
     rng_timing: SimRng,
@@ -143,7 +143,7 @@ impl System {
                 .expect("syscall table inside memory");
             stats.record_genuine_syscall(nr, ptr);
         }
-        let cores = (0..n).map(|_| CoreState::new(&config)).collect::<Vec<_>>();
+        let cores = CoreStates::new(n, &config);
         let [rng_sched, rng_timing, rng_secure, rng_body] = rngs;
         if telemetry.is_enabled() {
             for i in 0..n {
@@ -177,10 +177,16 @@ impl System {
             faults,
             ns_interrupt_load: 0.0,
         };
+        // Warm-up reserve for campaign fan-out: every per-seed run (the
+        // CampaignRunner builds one System per seed) starts with queue
+        // capacity for the steady-state in-flight event population, so the
+        // wheel never re-grows mid-run. Sized generously — a core carries a
+        // handful of in-flight events (tick, task-done, secure timer, wake).
+        sys.sim.reserve_events(64 + 16 * n);
         // Arm the periodic scheduler tick on every core.
         for i in 0..n {
             let core = CoreId::new(i);
-            let at = sys.cores[i].tick.next_boundary(SimTime::ZERO);
+            let at = sys.cores.tick(core).next_boundary(SimTime::ZERO);
             sys.sim.schedule_at(at, SysEvent::TickBoundary { core });
         }
         sys
@@ -265,7 +271,7 @@ impl System {
             service.on_boot(&mut ctx)?;
         }
         for (core, at) in armed {
-            let gen = self.cores[core.index()].timer_gen;
+            let gen = self.cores.timer_gen(core);
             self.sim.schedule_at(
                 at,
                 SysEvent::SecureTimerFire {
@@ -402,7 +408,7 @@ impl System {
 
     /// `true` if `core` is currently in the secure world.
     pub fn core_in_secure_world(&self, core: CoreId) -> bool {
-        self.cores[core.index()].secure.is_some()
+        self.cores.in_secure(core)
     }
 
     /// Events dispatched so far (diagnostics).

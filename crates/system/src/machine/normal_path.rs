@@ -14,7 +14,7 @@ impl System {
     pub(super) fn on_tick(&mut self, now: SimTime, core: CoreId) {
         // Always schedule the next boundary (the hardware timer keeps going;
         // NO_HZ merely suppresses delivery while idle).
-        let mut next = self.cores[core.index()].tick.next_boundary(now);
+        let mut next = self.cores.tick(core).next_boundary(now);
         // An injected jitter spike pushes one boundary late — the timing
         // anomaly a loaded or adversarial interrupt fabric produces.
         if let Some(extra) = self.faults.as_mut().and_then(|f| f.tick_jitter(now)) {
@@ -27,13 +27,13 @@ impl System {
         }
         self.sim.schedule_at(next, SysEvent::TickBoundary { core });
 
-        if self.cores[core.index()].secure.is_some() {
+        if self.cores.in_secure(core) {
             // Non-secure interrupt pends while the core is in the secure
             // world (SATIN's SCR_EL3.IRQ = 0 configuration, §V-B).
             return;
         }
-        let idle = self.cores[core.index()].running.is_none() && self.sched.queue_len(core) == 0;
-        let delivered = self.cores[core.index()].tick.on_boundary(idle);
+        let idle = self.cores.running(core).is_none() && self.sched.queue_len(core) == 0;
+        let delivered = self.cores.tick_mut(core).on_boundary(idle);
         if !delivered {
             return;
         }
@@ -67,7 +67,7 @@ impl System {
         }
 
         // CFS timeslice preemption.
-        let preempt = if let Some(r) = self.cores[core.index()].running {
+        let preempt = if let Some(r) = self.cores.running(core) {
             let is_cfs = matches!(self.sched.task(r.task).class(), SchedClass::Cfs { .. });
             is_cfs
                 && self.sched.queue_len(core) > 0
@@ -85,12 +85,12 @@ impl System {
         let Some(core) = self.sched.wake(task) else {
             return;
         };
-        if self.cores[core.index()].secure.is_some() {
+        if self.cores.in_secure(core) {
             // The core is in the secure world: the task sits on the frozen
             // runqueue until SecureDone. This is the prober's side channel.
             return;
         }
-        let needs_dispatch = match self.cores[core.index()].running {
+        let needs_dispatch = match self.cores.running(core) {
             None => true,
             Some(_) => self.sched.should_preempt(core, task),
         };
@@ -113,10 +113,10 @@ impl System {
     }
 
     pub(super) fn try_dispatch(&mut self, now: SimTime, core: CoreId) {
-        if self.cores[core.index()].secure.is_some() {
+        if self.cores.in_secure(core) {
             return;
         }
-        if self.cores[core.index()].running.is_some() {
+        if self.cores.running(core).is_some() {
             // Preempt only if the best queued task outranks the current one.
             let Some(next) = self.sched.peek_next(core) else {
                 return;
@@ -140,10 +140,9 @@ impl System {
             let outcome = self.call_body(now, core, task);
             (outcome.busy, outcome.then)
         };
-        let token = self.cores[core.index()].next_token;
-        self.cores[core.index()].next_token += 1;
+        let token = self.cores.take_token(core);
         let busy_end = now + busy;
-        self.cores[core.index()].running = Some(Running {
+        *self.cores.running_mut(core) = Some(Running {
             task,
             started: now,
             busy_end,
@@ -190,7 +189,7 @@ impl System {
     }
 
     pub(super) fn preempt_current(&mut self, now: SimTime, core: CoreId) {
-        let Some(r) = self.cores[core.index()].running.take() else {
+        let Some(r) = self.cores.running_mut(core).take() else {
             return;
         };
         let ran = now.saturating_since(r.started);
@@ -204,13 +203,13 @@ impl System {
 
     pub(super) fn on_task_done(&mut self, now: SimTime, core: CoreId, task: TaskId, token: u64) {
         let valid = matches!(
-            self.cores[core.index()].running,
+            self.cores.running(core),
             Some(Running { task: t, token: k, .. }) if t == task && k == token
         );
         if !valid {
             return; // stale: the busy period was preempted
         }
-        let r = self.cores[core.index()].running.take().expect("checked");
+        let r = self.cores.running_mut(core).take().expect("checked");
         let ran = now.since(r.started);
         self.account_work(task, core, r.started, now);
         let next_state = match r.then {
@@ -255,9 +254,8 @@ impl System {
     ) {
         let kind = self.platform.core_kind(core);
         let t = self.platform.timing();
-        let state = &self.cores[core.index()];
-        let slowdown = t.post_secure_slowdown * state.pollution_strength;
-        let pollution_until = state.pollution_until;
+        let (pollution_until, strength) = self.cores.pollution(core);
+        let slowdown = t.post_secure_slowdown * strength;
         self.work[task.value() as usize].accrue(
             start,
             end,

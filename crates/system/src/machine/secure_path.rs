@@ -18,7 +18,7 @@ fn track(core: CoreId) -> TrackId {
 
 impl System {
     pub(super) fn on_secure_fire(&mut self, now: SimTime, core: CoreId, generation: u64) {
-        if self.cores[core.index()].timer_gen != generation {
+        if self.cores.timer_gen(core) != generation {
             return; // superseded by a re-arm
         }
         let should_fire = self
@@ -26,7 +26,7 @@ impl System {
             .secure_timer(core)
             .map(|t| t.should_fire(now))
             .unwrap_or(false);
-        if !should_fire || self.cores[core.index()].secure.is_some() {
+        if !should_fire || self.cores.in_secure(core) {
             return;
         }
         // One-shot: disable until the service re-arms.
@@ -34,7 +34,7 @@ impl System {
             .secure_timer_mut(core)
             .set_enabled(satin_hw::World::Secure, false)
             .expect("secure world disables its own timer");
-        self.cores[core.index()].timer_gen += 1;
+        self.cores.bump_timer_gen(core);
         self.sim.mark(Mark::new(MarkTag::SecureFire, core.index()));
 
         // The secure interrupt preempts whatever the normal world was doing.
@@ -87,9 +87,11 @@ impl System {
                 } else {
                     1.0
                 };
+                // Borrow-once view: the window's bounds are validated here
+                // and never re-checked while the snapshot is taken.
                 let snapshot = self
                     .mem
-                    .read(request.range)
+                    .view(request.range)
                     .expect("scan request inside memory")
                     .to_vec();
                 let window = ScanWindow::begin(
@@ -129,21 +131,27 @@ impl System {
                     request,
                     window,
                 });
-                self.cores[core.index()].secure = Some(SecureSession {
-                    fired: now,
-                    scan_end,
-                    span: session_span,
-                });
+                self.cores.set_secure(
+                    core,
+                    Some(SecureSession {
+                        fired: now,
+                        scan_end,
+                        span: session_span,
+                    }),
+                );
                 self.sim
                     .schedule_at(scan_end, SysEvent::SecureDone { core });
             }
             None => {
                 let scan_end = entry + SimDuration::from_micros(1);
-                self.cores[core.index()].secure = Some(SecureSession {
-                    fired: now,
-                    scan_end,
-                    span: session_span,
-                });
+                self.cores.set_secure(
+                    core,
+                    Some(SecureSession {
+                        fired: now,
+                        scan_end,
+                        span: session_span,
+                    }),
+                );
                 self.sim
                     .schedule_at(scan_end, SysEvent::SecureDone { core });
             }
@@ -178,7 +186,7 @@ impl System {
 
     fn schedule_rearm(&mut self, rearm: Option<(CoreId, SimTime)>) {
         if let Some((core, at)) = rearm {
-            let gen = self.cores[core.index()].timer_gen;
+            let gen = self.cores.timer_gen(core);
             self.sim.schedule_at(
                 at,
                 SysEvent::SecureTimerFire {
@@ -190,7 +198,7 @@ impl System {
     }
 
     pub(super) fn on_secure_done(&mut self, now: SimTime, core: CoreId) {
-        let Some(session) = self.cores[core.index()].secure else {
+        let Some(session) = self.cores.secure(core) else {
             return;
         };
         debug_assert_eq!(session.scan_end, now);
@@ -287,7 +295,7 @@ impl System {
         let dropped = matches!(fate, PublicationFate::Drop);
         let residency = resume.since(session.fired);
         self.tsp.record_invocation(core, session.fired, residency);
-        self.cores[core.index()].secure = None;
+        self.cores.set_secure(core, None);
         {
             let m = self.stats.metrics.core_mut(core);
             m.world_switches += 1;
@@ -354,15 +362,12 @@ impl System {
         let busy = (0..n)
             .filter(|i| {
                 let c = CoreId::new(*i);
-                self.cores[*i].running.is_some() || self.sched.queue_len(c) > 0
+                self.cores.running(c).is_some() || self.sched.queue_len(c) > 0
             })
             .count();
         let strength = 0.85 + 0.15 * busy as f64 / n as f64;
         let pollution_until = resume + self.platform.timing().pollution_window;
-        for state in &mut self.cores {
-            state.pollution_until = state.pollution_until.max_of(pollution_until);
-            state.pollution_strength = strength;
-        }
+        self.cores.open_pollution_window(pollution_until, strength);
         self.trace.record(
             now,
             TraceCategory::SecureExit,
