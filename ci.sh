@@ -101,9 +101,14 @@ echo "== fault-injection smoke (seed 42) =="
 FAULTS_1="$(mktemp /tmp/satin_faults1.XXXXXX.txt)"
 FAULTS_4="$(mktemp /tmp/satin_faults4.XXXXXX.txt)"
 trap 'rm -f "$TRACE_JSON" "$METRICS_JSON" "$DEFAULT_OUT" "$SCENARIO_OUT" "$FAULTS_1" "$FAULTS_4"' EXIT INT TERM
-./target/release/repro --seed 42 --faults smoke --jobs 1 faults > "$FAULTS_1"
-./target/release/repro --seed 42 --faults smoke --jobs 4 faults > "$FAULTS_4"
-grep -q '^selected *42 *FAILED' "$FAULTS_1"
+EVENTS_1="$(mktemp /tmp/satin_events1.XXXXXX.jsonl)"
+EVENTS_4="$(mktemp /tmp/satin_events4.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE_JSON" "$METRICS_JSON" "$DEFAULT_OUT" "$SCENARIO_OUT" "$FAULTS_1" "$FAULTS_4" "$EVENTS_1" "$EVENTS_4"' EXIT INT TERM
+./target/release/repro --seed 42 --faults smoke --jobs 1 \
+    --events-out "$EVENTS_1" faults > "$FAULTS_1" 2> /dev/null
+./target/release/repro --seed 42 --faults smoke --jobs 4 --progress \
+    --events-out "$EVENTS_4" faults > "$FAULTS_4" 2> /dev/null
+grep -q '^smoke *42 *FAILED' "$FAULTS_1"
 grep -q 'worker abort' "$FAULTS_1"
 # Drop the header line (it prints the worker count) before comparing.
 tail -n +2 "$FAULTS_1" > "$FAULTS_1.body" && mv "$FAULTS_1.body" "$FAULTS_1"
@@ -111,6 +116,35 @@ tail -n +2 "$FAULTS_4" > "$FAULTS_4.body" && mv "$FAULTS_4.body" "$FAULTS_4"
 cmp "$FAULTS_1" "$FAULTS_4"
 echo "fault smoke OK: seed 42 salvaged as FAILED, report jobs-invariant"
 cargo test -q -p satin-bench --test fault_golden
+
+echo "== event-stream smoke (seed 42, smoke plan) =="
+# The canonical campaign event stream must be byte-identical for any
+# --jobs (even with --progress attached: the live channel never feeds the
+# canonical stream), every line must be valid versioned JSON, and the
+# sequence numbers must be gapless from 0 (DESIGN.md §14).
+cmp "$EVENTS_1" "$EVENTS_4"
+EVENTS_JSONL="$EVENTS_1" python3 - <<'EOF'
+import json, os
+lines = open(os.environ["EVENTS_JSONL"]).read().splitlines()
+assert lines, "event stream is empty"
+for i, line in enumerate(lines):
+    e = json.loads(line)
+    assert e["v"] == 1, f"line {i}: schema version {e['v']}"
+    assert e["seq"] == i, f"line {i}: seq {e['seq']} not gapless"
+    assert "event" in e, f"line {i}: missing event kind"
+assert json.loads(lines[0])["event"] == "campaign.started", lines[0]
+last = json.loads(lines[-1])
+assert last["event"] == "campaign.finished", lines[-1]
+assert last["failed"] == 1 and last["retries"] >= 1, last
+kinds = {json.loads(l)["event"] for l in lines}
+need = {"campaign.started", "worker.assigned", "cell.started",
+        "cell.attempt", "cell.fault_armed", "cell.retried",
+        "cell.salvaged", "cell.finished", "campaign.finished"}
+assert need <= kinds, f"missing event kinds: {need - kinds}"
+print(f"event stream OK: {len(lines)} events, jobs-invariant, "
+      f"gapless seq, all {len(need)} kinds present")
+EOF
+cargo test -q -p satin-bench --test events_golden
 
 echo "== analysis invariants (seeds 7 42 1009) =="
 # Happens-before race detection plus the Eq.1/Eq.2 audit; repro exits
@@ -127,35 +161,49 @@ echo "== bench smoke + trajectory snapshot =="
 # full campaign would dominate CI wall-clock.
 cargo build -q --release -p satin-bench --benches
 cargo bench -q -p satin-bench --bench engine_micro --bench hash_window > /dev/null
-# The committed BENCH_0006.json trajectory point must stay schema-valid and
-# must record the >= 3x seeds/sec model speedup ISSUE 6 claims. CI validates
-# the committed file rather than re-measuring: wall-clock numbers belong to
-# the machine that produced them (regenerate with
-#   cargo run --release -p satin-bench --bin repro -- --full --seed 42 bench --json BENCH_0006.json
+# Every committed BENCH_*.json trajectory point must stay schema-valid
+# (schema 1, or schema 2 which adds the host fingerprint object) and must
+# record the >= 3x seeds/sec model speedup ISSUE 6 claims. CI validates
+# the committed files rather than re-measuring: wall-clock numbers belong
+# to the machine that produced them (regenerate with
+#   cargo run --release -p satin-bench --bin repro -- --full --seed 42 bench --json BENCH_NNNN.json
 # see EXPERIMENTS.md "Hot-path bench trajectory").
 python3 - <<'EOF'
-import json
+import glob, json
 
-r = json.load(open("BENCH_0006.json"))
-assert r["id"] == "BENCH_0006", r["id"]
-assert r["schema"] == 1, r["schema"]
-assert isinstance(r["quick"], bool) and isinstance(r["seed"], int)
+files = sorted(glob.glob("BENCH_*.json"))
+assert files, "no committed BENCH_*.json snapshots"
 need = {
     ("queue", "wheel_churn"), ("queue", "heap_churn"),
     ("hash_window", "djb2_batched"), ("hash_window", "djb2_boxed_per_byte"),
     ("seeds_model", "current"), ("seeds_model", "baseline"),
 }
-got = set()
-for e in r["entries"]:
-    assert set(e) == {"group", "name", "ns_per_unit", "per_sec", "unit", "samples"}, e
-    assert e["ns_per_unit"] > 0 and e["per_sec"] > 0 and e["samples"] >= 1, e
-    got.add((e["group"], e["name"]))
-assert need <= got, f"missing entries: {need - got}"
-s = r["seeds_per_sec"]
-assert s["baseline_model"] > 0 and s["current_model"] > 0 and s["campaign_quick"] > 0, s
-assert s["speedup"] >= 3.0, f"seeds/sec model speedup {s['speedup']} < 3.0"
-print(f"BENCH_0006.json OK: {len(r['entries'])} entries, "
-      f"seeds/sec model speedup {s['speedup']}x (>= 3.0 required)")
+for path in files:
+    r = json.load(open(path))
+    assert r["id"] == path.removesuffix(".json"), (path, r["id"])
+    assert r["schema"] in (1, 2), r["schema"]
+    assert isinstance(r["quick"], bool) and isinstance(r["seed"], int)
+    if r["schema"] >= 2:
+        h = r["host"]
+        assert isinstance(h["rustc"], str) and h["rustc"], h
+        assert h["wall_ns"] > 0 and h["entries"] == len(r["entries"]), h
+    got = set()
+    for e in r["entries"]:
+        assert set(e) == {"group", "name", "ns_per_unit", "per_sec", "unit", "samples"}, e
+        assert e["ns_per_unit"] > 0 and e["per_sec"] > 0 and e["samples"] >= 1, e
+        got.add((e["group"], e["name"]))
+    assert need <= got, f"{path} missing entries: {need - got}"
+    s = r["seeds_per_sec"]
+    assert s["baseline_model"] > 0 and s["current_model"] > 0 and s["campaign_quick"] > 0, s
+    assert s["speedup"] >= 3.0, f"{path}: seeds/sec model speedup {s['speedup']} < 3.0"
+    print(f"{path} OK: schema {r['schema']}, {len(r['entries'])} entries, "
+          f"seeds/sec model speedup {s['speedup']}x (>= 3.0 required)")
 EOF
+
+echo "== bench trajectory gate =="
+# The newest committed snapshot must not regress the seeds/sec model
+# speedup ratio by more than 20% against its predecessor (the ratio is
+# dimensionless, so the gate holds across machines; see DESIGN.md §14).
+./target/release/repro bench trajectory
 
 echo "CI OK"

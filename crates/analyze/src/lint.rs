@@ -128,8 +128,11 @@ impl fmt::Display for LintFinding {
 /// Vendored dependency stand-ins, excluded from the walk entirely.
 const STUB_CRATES: [&str; 2] = ["criterion", "proptest"];
 
-/// Files allowed to spawn threads (the campaign runner's fan-out point).
-const THREAD_SPAWN_ALLOWLIST: [&str; 1] = ["crates/bench/src/runner.rs"];
+/// Files allowed to spawn threads: the campaign runner's fan-out point and
+/// the observability drain (a pure *reader* of the live channel — it runs
+/// no simulation, so its scheduling cannot reach any result).
+const THREAD_SPAWN_ALLOWLIST: [&str; 2] =
+    ["crates/bench/src/runner.rs", "crates/obs/src/progress.rs"];
 
 /// Splits a source line into its code and comment halves, blanking the
 /// *contents* of string and char literals in the code half so that a banned

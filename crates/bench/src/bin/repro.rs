@@ -53,10 +53,22 @@ use satin_bench::{
     ablation, detection, fig7, perf, race, recover, switch, table1, table2, threshold_sweep,
     userprober, CampaignRunner, MetricsReport, ScenarioGrid, DEFAULT_SEED,
 };
+use satin_obs::{
+    CampaignObs, EventStream, GateVerdict, ObsEvent, PhaseTimer, ProgressRenderer, Trajectory,
+};
 use satin_scenario::{FaultPlan, Scenario};
 use satin_sim::SimDuration;
 use satin_stats::table::{Align, Table};
 use satin_stats::{chart, fmt_percent, fmt_sci, FiveNumber};
+
+/// Regression tolerance of `repro bench trajectory`: the newest committed
+/// snapshot may not lose more than this fraction of the previous one's
+/// seeds/sec-model speedup.
+const TRAJECTORY_TOLERANCE: f64 = 0.20;
+
+/// Capacity of the live event channel behind `--progress`. Overflow drops
+/// progress frames (counted), never canonical events.
+const LIVE_CHANNEL_CAPACITY: usize = 4096;
 
 struct Opts {
     full: bool,
@@ -64,8 +76,12 @@ struct Opts {
     jobs: usize,
     metrics: bool,
     analyze: bool,
+    /// Render a live progress line (stderr) for observed campaigns.
+    progress: bool,
     trace_out: Option<String>,
     metrics_json: Option<String>,
+    /// `--events-out` target for the merged campaign event stream (JSONL).
+    events_out: Option<String>,
     /// `--json` target for the `bench` experiment's BENCH_*.json snapshot.
     json_out: Option<String>,
     /// The selected scenario (Juno r1 paper defaults unless `--scenario`).
@@ -75,6 +91,9 @@ struct Opts {
     /// True when `--faults` was given explicitly (the plan itself lives in
     /// `scenario.faults`).
     faults_set: bool,
+    /// The `--faults` argument as given (plan name or file path), used to
+    /// label the campaign's event stream.
+    faults_name: Option<String>,
     experiments: Vec<String>,
 }
 
@@ -130,11 +149,13 @@ fn parse_args() -> Opts {
     let mut jobs = 1;
     let mut metrics = false;
     let mut analyze = false;
+    let mut progress = false;
     let mut trace_out = None;
     let mut metrics_json = None;
+    let mut events_out = None;
     let mut json_out = None;
     let mut scenario = None;
-    let mut faults = None;
+    let mut faults: Option<(String, FaultPlan)> = None;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -153,7 +174,8 @@ fn parse_args() -> Opts {
                 let arg = args.next().unwrap_or_else(|| {
                     die("--faults needs a built-in plan name (none, smoke, chaos) or a file path")
                 });
-                faults = Some(load_fault_plan(&arg));
+                let plan = load_fault_plan(&arg);
+                faults = Some((arg, plan));
             }
             "--full" => full = true,
             "--seed" => {
@@ -170,10 +192,17 @@ fn parse_args() -> Opts {
             }
             "--metrics" => metrics = true,
             "--analyze" => analyze = true,
+            "--progress" => progress = true,
             "--trace-out" => {
                 trace_out = Some(
                     args.next()
                         .unwrap_or_else(|| die("--trace-out needs a file path")),
+                );
+            }
+            "--events-out" => {
+                events_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--events-out needs a file path")),
                 );
             }
             "--metrics-json" => {
@@ -191,12 +220,12 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--seed N] [--jobs N] [--metrics] [--analyze] \
-                     [--scenario NAME|FILE] [--scenario-list] [--faults NAME|FILE] \
-                     [--trace-out FILE] [--metrics-json FILE] [--json FILE] \
+                     [--progress] [--scenario NAME|FILE] [--scenario-list] [--faults NAME|FILE] \
+                     [--trace-out FILE] [--metrics-json FILE] [--events-out FILE] [--json FILE] \
                      [table1 switch recover table2 fig4 \
                      affinity race detection fig7 baseline areasweep userprober \
                      preemption portability threshold predictor remediation \
-                     kprobertrace telemetry analysis grid faults bench all]"
+                     kprobertrace telemetry analysis grid faults bench [bench] trajectory all]"
                 );
                 std::process::exit(0);
             }
@@ -216,7 +245,9 @@ fn parse_args() -> Opts {
             experiments.push("bench".to_string());
         } else if trace_out.is_some() || metrics_json.is_some() {
             experiments.push("telemetry".to_string());
-        } else if faults.is_some() {
+        } else if faults.is_some() || events_out.is_some() {
+            // Bare --events-out means "give me the campaign event stream";
+            // the fault campaign is the canonical observed experiment.
             experiments.push("faults".to_string());
         } else {
             experiments.push("all".to_string());
@@ -224,9 +255,11 @@ fn parse_args() -> Opts {
     }
     let scenario_set = scenario.is_some();
     let faults_set = faults.is_some();
+    let mut faults_name = None;
     let mut scenario = scenario.unwrap_or_else(Scenario::paper);
-    if let Some(plan) = faults {
+    if let Some((name, plan)) = faults {
         scenario.faults = plan;
+        faults_name = Some(name);
     }
     Opts {
         full,
@@ -234,12 +267,15 @@ fn parse_args() -> Opts {
         jobs,
         metrics,
         analyze,
+        progress,
         trace_out,
         metrics_json,
+        events_out,
         json_out,
         scenario,
         scenario_set,
         faults_set,
+        faults_name,
         experiments,
     }
 }
@@ -252,6 +288,10 @@ fn die(msg: &str) -> ! {
 fn main() {
     let opts = parse_args();
     let want = |name: &str| opts.experiments.iter().any(|e| e == name || e == "all");
+    // Canonical campaign events accumulated by the observed experiments
+    // (faults, telemetry), written as one JSONL stream at exit. Merging at
+    // the end keeps sequence numbers gapless across campaigns.
+    let mut events: Vec<ObsEvent> = Vec::new();
     println!(
         "SATIN reproduction — seed {} — {} mode — {} worker(s)\n",
         opts.seed,
@@ -281,7 +321,7 @@ fn main() {
         run_race(&opts);
     }
     if want("detection") {
-        run_detection(&opts);
+        run_detection(&opts, &mut events);
     }
     if want("fig7") {
         run_fig7(&opts);
@@ -314,7 +354,7 @@ fn main() {
         run_kprober_trace(&opts);
     }
     if want("telemetry") {
-        run_telemetry(&opts);
+        run_telemetry(&opts, &mut events);
     }
     // Grid is a cross-scenario sweep, not a paper artifact, so `all` skips
     // it — ask for it by name. Same for the fault campaign.
@@ -322,21 +362,90 @@ fn main() {
         run_grid(&opts);
     }
     if opts.experiments.iter().any(|e| e == "faults") {
-        run_faults(&opts);
+        run_faults(&opts, &mut events);
     }
     // Bench reads the wall clock, so its numbers are machine-local; like
-    // grid/faults it runs only by name.
-    if opts.experiments.iter().any(|e| e == "bench") {
+    // grid/faults it runs only by name. `repro bench trajectory` skips the
+    // measurement and audits the committed snapshots instead.
+    let trajectory = opts.experiments.iter().any(|e| e == "trajectory");
+    if opts.experiments.iter().any(|e| e == "bench") && !trajectory {
         run_bench(&opts);
     }
+    if let Some(path) = &opts.events_out {
+        let mut stream = EventStream::new();
+        for e in events {
+            stream.push(e);
+        }
+        std::fs::write(path, stream.to_jsonl())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        // Stderr: stdout is byte-compared across --jobs and this line is
+        // the only host-facing confirmation.
+        eprintln!("wrote {} campaign events to {path}", stream.len());
+    }
+    let mut failed = false;
+    if trajectory {
+        failed |= !run_trajectory();
+    }
     if (want("analysis") || opts.analyze) && !run_analysis(&opts) {
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }
 
+/// `repro bench trajectory`: parse every committed `BENCH_*.json` in the
+/// working directory, print the delta table, and gate the newest snapshot
+/// against its predecessor. Returns `false` (process exits nonzero) on a
+/// regression beyond [`TRAJECTORY_TOLERANCE`].
+fn run_trajectory() -> bool {
+    let mut files: Vec<(String, String)> = Vec::new();
+    let dir = std::fs::read_dir(".").unwrap_or_else(|e| die(&format!("reading .: {e}")));
+    for entry in dir.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            let text = std::fs::read_to_string(entry.path())
+                .unwrap_or_else(|e| die(&format!("reading {name}: {e}")));
+            files.push((name, text));
+        }
+    }
+    files.sort();
+    println!("== Bench trajectory: committed BENCH_*.json snapshots ==");
+    let traj = Trajectory::from_texts(&files).unwrap_or_else(|e| die(&e));
+    print!("{}", traj.delta_table());
+    match traj.gate(TRAJECTORY_TOLERANCE) {
+        GateVerdict::SinglePoint => {
+            println!("gate: single snapshot, nothing to regress against\n");
+            true
+        }
+        GateVerdict::Pass { detail } => {
+            println!("gate: PASS — {detail}\n");
+            true
+        }
+        GateVerdict::Fail { detail } => {
+            println!("gate: FAIL — {detail}\n");
+            false
+        }
+    }
+}
+
+/// `rustc --version` of the toolchain on PATH — the host fingerprint the
+/// bench snapshot records (the library takes it as a string; spawning
+/// processes is the binary's job).
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn run_bench(o: &Opts) {
     println!("== Hot-path microbenchmarks (ROADMAP item 1 trajectory) ==");
-    let report = perf::run(!o.full, o.seed);
+    let report = perf::run(!o.full, o.seed, &rustc_version());
     print!("{report}");
     if report.seeds_per_sec.speedup < 3.0 {
         println!(
@@ -389,17 +498,21 @@ fn run_grid(o: &Opts) {
 /// `smoke`/`chaos` plans abort, 7 and 1009 prove its neighbours survive.
 const FAULT_SEEDS: [u64; 3] = [7, 42, 1009];
 
-fn run_faults(o: &Opts) {
+fn run_faults(o: &Opts, events: &mut Vec<ObsEvent>) {
+    let mut timer = PhaseTimer::start();
+    timer.phase("assemble");
     // The fault axis: the attached plan when `--faults` (or the scenario
-    // file) gave one, otherwise every built-in plan.
-    let plans: Vec<(&str, FaultPlan)> = if o.faults_set || !o.scenario.faults.is_empty() {
-        vec![("selected", o.scenario.faults)]
+    // file) gave one, otherwise every built-in plan. The plan name labels
+    // the campaign's event stream (`faults/<name>`).
+    let plans: Vec<(String, FaultPlan)> = if o.faults_set || !o.scenario.faults.is_empty() {
+        let name = o.faults_name.clone().unwrap_or_else(|| "selected".into());
+        vec![(name, o.scenario.faults)]
     } else {
         ["none", "smoke", "chaos"]
             .into_iter()
             .map(|n| {
                 let plan = satin_scenario::builtin_fault_plan(n).expect("built-in fault plan");
-                (n, plan)
+                (n.to_string(), plan)
             })
             .collect()
     };
@@ -427,11 +540,30 @@ fn run_faults(o: &Opts) {
     for c in 1..=6 {
         t.align(c, Align::Right);
     }
+    timer.phase("simulate");
     let mut salvaged = 0usize;
     for (name, plan) in &plans {
         let mut sc = o.scenario.clone();
         sc.faults = *plan;
-        let outcomes = detection::run_many_faulted(&sc, base, &FAULT_SEEDS, &o.runner());
+        let label = format!("faults/{name}");
+        // Canonical events always; the live channel (worker ids, host
+        // times) only when someone is watching.
+        let (obs, renderer) = if o.progress {
+            let (obs, rx) = CampaignObs::with_live(&label, LIVE_CHANNEL_CAPACITY);
+            (obs, Some(ProgressRenderer::spawn(rx, true)))
+        } else {
+            (CampaignObs::new(&label), None)
+        };
+        let (outcomes, stream) =
+            detection::run_many_faulted_observed(&sc, base, &FAULT_SEEDS, &o.runner(), &obs);
+        if let Some(renderer) = renderer {
+            // Capture the drop count, then drop the observer — closing the
+            // last live sender is what lets the drain thread exit.
+            let dropped = obs.live_dropped();
+            drop(obs);
+            eprint!("{}", renderer.finish(dropped).render());
+        }
+        events.extend(stream.events().iter().cloned());
         for out in &outcomes {
             salvaged += out.is_failed() as usize;
             let (status, rounds, detected, faults) = match out.value() {
@@ -455,12 +587,17 @@ fn run_faults(o: &Opts) {
             ]);
         }
     }
+    timer.phase("analyze");
     println!("{t}");
     println!(
         "{} campaign(s), {} salvaged as failed rows\n",
         plans.len() * FAULT_SEEDS.len(),
         salvaged
     );
+    timer.stop();
+    if o.progress {
+        eprintln!("{}", timer.render());
+    }
 }
 
 fn run_analysis(o: &Opts) -> bool {
@@ -485,7 +622,7 @@ fn run_analysis(o: &Opts) -> bool {
     run.is_clean()
 }
 
-fn run_telemetry(o: &Opts) {
+fn run_telemetry(o: &Opts, events: &mut Vec<ObsEvent>) {
     use satin_bench::telemetry_report::{run_traced_race_scenario, TelemetryReport};
     println!("== Telemetry: span timelines and campaign histograms ==");
     let horizon = SimDuration::from_secs(if o.full { 30 } else { 8 });
@@ -512,14 +649,24 @@ fn run_telemetry(o: &Opts) {
     };
     base.telemetry = true;
     let seeds: Vec<u64> = (0..3).map(|i| o.seed.wrapping_add(i)).collect();
-    // The traced race above keeps the fault plan (fault instants land in
-    // the timeline); the aggregate fleet drops it so an injected abort
-    // can't kill the merge — the `faults` experiment owns salvage.
-    let mut campaign_scenario = o.scenario.clone();
-    campaign_scenario.faults = FaultPlan::default();
-    let results = detection::run_many_scenario(&campaign_scenario, base, &seeds, &o.runner());
-    let reports: Vec<MetricsReport> = results.iter().map(|r| r.metrics.clone()).collect();
-    let report = TelemetryReport::of(&reports);
+    // The fleet keeps the scenario's fault plan: failed seeds salvage as
+    // retry/salvage counters instead of killing the merge, and the fault
+    // counters surface in the JSON.
+    let (obs, renderer) = if o.progress {
+        let (obs, rx) = CampaignObs::with_live("telemetry", LIVE_CHANNEL_CAPACITY);
+        (obs, Some(ProgressRenderer::spawn(rx, true)))
+    } else {
+        (CampaignObs::new("telemetry"), None)
+    };
+    let (outcomes, stream) =
+        detection::run_many_faulted_observed(&o.scenario, base, &seeds, &o.runner(), &obs);
+    if let Some(renderer) = renderer {
+        let dropped = obs.live_dropped();
+        drop(obs);
+        eprint!("{}", renderer.finish(dropped).render());
+    }
+    events.extend(stream.events().iter().cloned());
+    let report = TelemetryReport::of_salvaged(&outcomes, |r| &r.metrics);
     print!("{report}");
     if let Some(path) = &o.metrics_json {
         std::fs::write(path, report.to_json())
@@ -939,11 +1086,11 @@ fn run_race(o: &Opts) {
     println!();
 }
 
-fn run_detection(o: &Opts) {
+fn run_detection(o: &Opts, events: &mut Vec<ObsEvent>) {
     if !o.scenario.faults.is_empty() {
         // A fault plan can abort seeds mid-campaign; route through the
         // salvaging runner so those surface as rows, not panics.
-        return run_faults(o);
+        return run_faults(o, events);
     }
     let mut base = if o.full {
         detection::DetectionConfig::paper(o.seed)

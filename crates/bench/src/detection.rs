@@ -21,6 +21,7 @@ use satin_attack::{TzEvader, TzEvaderConfig};
 use satin_core::satin::RoundRecord;
 use satin_core::{Satin, SatinConfig, SatinHandle};
 use satin_mem::PAPER_SYSCALL_AREA;
+use satin_obs::{CampaignObs, EventStream, ObsEvent};
 use satin_scenario::Scenario;
 use satin_sim::{SimDuration, SimTime};
 use satin_system::{SatinError, SystemBuilder};
@@ -209,6 +210,39 @@ pub fn run_many_faulted(
     })
 }
 
+/// [`run_many_faulted`] with a campaign event stream: every cell logs its
+/// lifecycle plus one `cell.fault_armed` event per fault kind the plan arms
+/// for that `(seed, attempt)`. The canonical stream is assembled from the
+/// cell logs in seed order, so its JSONL form is byte-identical for any
+/// worker count; `obs`'s live channel (if any) additionally sees the events
+/// as they happen, tagged with worker and host time.
+pub fn run_many_faulted_observed(
+    scenario: &Scenario,
+    base: DetectionConfig,
+    seeds: &[u64],
+    runner: &CampaignRunner,
+    obs: &CampaignObs,
+) -> (Vec<SeedOutcome<DetectionResult>>, EventStream) {
+    let policy = RetryPolicy::from_plan(&scenario.faults);
+    runner.run_seeds_with_retry_observed(
+        seeds,
+        policy,
+        obs,
+        |seed| scenario.cell_label(seed),
+        |seed, attempt, log| {
+            let cell = log.cell();
+            for kind in satin_faults::armed_kinds(&scenario.faults, seed, attempt) {
+                log.emit(ObsEvent::FaultArmed {
+                    cell,
+                    seed,
+                    fault: kind.to_string(),
+                });
+            }
+            try_run_scenario(scenario, DetectionConfig { seed, ..base }, attempt)
+        },
+    )
+}
+
 /// Fleet-level aggregates over a batch of campaigns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectionAggregate {
@@ -393,6 +427,47 @@ mod tests {
         // One publication per completed round, summed across the fleet.
         assert!(agg.metrics.publications as usize >= agg.rounds);
         assert_eq!(agg.metrics.world_switches, 2 * agg.metrics.publications);
+    }
+
+    #[test]
+    fn observed_fault_stream_is_jobs_invariant_and_salvages_seed_42() {
+        let mut sc = Scenario::paper();
+        sc.faults = satin_scenario::FaultPlan::smoke();
+        let base = DetectionConfig {
+            rounds: 19,
+            tgoal: SimDuration::from_millis(9_500),
+            seed: 0,
+            trace: false,
+            telemetry: false,
+        };
+        let seeds = [7u64, 42, 1009];
+        let run = |runner: &CampaignRunner| {
+            let obs = CampaignObs::new("faults/smoke");
+            run_many_faulted_observed(&sc, base, &seeds, runner, &obs)
+        };
+        let (serial, serial_stream) = run(&CampaignRunner::serial());
+        let (parallel, parallel_stream) = run(&CampaignRunner::new(4));
+        assert_eq!(serial, parallel);
+        let jsonl = serial_stream.to_jsonl();
+        assert_eq!(jsonl, parallel_stream.to_jsonl());
+        // Smoke: every seed gets the dropped publication armed; seed 42
+        // additionally gets the abort, outlives the 2-attempt budget, and
+        // salvages as a Failed row.
+        assert!(serial[1].is_failed(), "seed 42 must salvage");
+        assert_eq!(
+            jsonl.matches("\"event\":\"cell.fault_armed\"").count(),
+            // seeds 7/1009: drop on their single attempt; seed 42: drop +
+            // abort on each of its 2 attempts.
+            2 + 2 * 2
+        );
+        assert!(jsonl.contains("\"fault\":\"fault.dropped_pub\""), "{jsonl}");
+        assert!(jsonl.contains("\"fault\":\"fault.abort\""), "{jsonl}");
+        assert!(jsonl.contains("\"label\":\"juno-r1/s42\""), "{jsonl}");
+        assert_eq!(jsonl.matches("\"event\":\"cell.salvaged\"").count(), 1);
+        assert!(
+            jsonl.contains("\"cells\":3,\"ok\":2,\"failed\":1,\"retries\":1"),
+            "{jsonl}"
+        );
     }
 
     #[test]

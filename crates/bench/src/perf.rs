@@ -65,10 +65,25 @@ pub struct SeedsPerSec {
     pub campaign_quick: f64,
 }
 
+/// Host metadata stamped into a snapshot (schema 2+): which compiler and
+/// machine produced the numbers, and how long the whole suite took. The
+/// trajectory gate uses the `rustc` string as a host fingerprint — absolute
+/// rates are only compared between snapshots whose fingerprints match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostMeta {
+    /// `rustc --version` of the compiler that built this binary, passed in
+    /// by the caller (the library does not shell out).
+    pub rustc: String,
+    /// Total wall-clock the bench suite took, nanoseconds.
+    pub wall_ns: u64,
+    /// Number of measured entries (a quick consistency check for readers).
+    pub entries: usize,
+}
+
 /// The full report written to `BENCH_NNNN.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// Snapshot identifier (`BENCH_0006`).
+    /// Snapshot identifier (`BENCH_0007`).
     pub id: &'static str,
     /// Schema version for the CI validator.
     pub schema: u32,
@@ -76,6 +91,8 @@ pub struct BenchReport {
     pub quick: bool,
     /// Master seed the campaign measurement used.
     pub seed: u64,
+    /// Host metadata (schema 2).
+    pub host: HostMeta,
     /// All measured entries.
     pub entries: Vec<BenchEntry>,
     /// The headline numbers.
@@ -83,10 +100,11 @@ pub struct BenchReport {
 }
 
 /// Snapshot id for this PR's committed trajectory point.
-pub const SNAPSHOT_ID: &str = "BENCH_0006";
+pub const SNAPSHOT_ID: &str = "BENCH_0007";
 
-/// Schema version understood by `ci.sh`'s validator.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Schema version understood by `ci.sh`'s validator: 2 adds the `host`
+/// object (rustc fingerprint, suite wall-clock, entry count).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Median of `samples` timed runs of `f`, in nanoseconds per run. One
 /// untimed warm-up call precedes the timed ones.
@@ -172,8 +190,12 @@ fn seed_model_baseline(window: &[u8]) -> u64 {
 }
 
 /// Runs the full suite. `quick` shrinks windows and sample counts (the CI
-/// smoke path); `--full` sizes match the committed snapshot.
-pub fn run(quick: bool, seed: u64) -> BenchReport {
+/// smoke path); `--full` sizes match the committed snapshot. `rustc` is the
+/// compiler version string to stamp into the snapshot's host metadata —
+/// callers obtain it (e.g. `rustc --version`) because this library does
+/// not spawn processes.
+pub fn run(quick: bool, seed: u64, rustc: &str) -> BenchReport {
+    let suite_start = Instant::now(); // lint:allow(wall-clock) — host metadata records real suite wall-clock
     let samples = if quick { 5 } else { 15 };
     let queue_events: u64 = if quick { 10_000 } else { 50_000 };
     let window_len: usize = if quick { 64 * 1024 } else { 1 << 20 };
@@ -227,11 +249,17 @@ pub fn run(quick: bool, seed: u64) -> BenchReport {
         detection::run(DetectionConfig::quick(seed)).rounds
     });
 
+    let host = HostMeta {
+        rustc: rustc.to_string(),
+        wall_ns: suite_start.elapsed().as_nanos() as u64,
+        entries: entries.len(),
+    };
     BenchReport {
         id: SNAPSHOT_ID,
         schema: SCHEMA_VERSION,
         quick,
         seed,
+        host,
         entries,
         seeds_per_sec: SeedsPerSec {
             baseline_model: 1e9 / baseline_ns,
@@ -269,6 +297,13 @@ impl BenchReport {
         let _ = writeln!(out, "  \"schema\": {},", self.schema);
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(
+            out,
+            "  \"host\": {{\"rustc\": \"{}\", \"wall_ns\": {}, \"entries\": {}}},",
+            satin_telemetry::json_escape(&self.host.rustc),
+            self.host.wall_ns,
+            self.host.entries
+        );
         let _ = writeln!(out, "  \"entries\": [");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 < self.entries.len() { "," } else { "" };
@@ -339,6 +374,11 @@ mod tests {
             schema: SCHEMA_VERSION,
             quick: true,
             seed: 7,
+            host: HostMeta {
+                rustc: "rustc 1.0.0 (\"quoted\")".to_string(),
+                wall_ns: 1_234_567,
+                entries: 1,
+            },
             entries: vec![super::entry("queue", "wheel_churn", 12.5, "op", 5)],
             seeds_per_sec: SeedsPerSec {
                 baseline_model: 10.0,
@@ -349,8 +389,9 @@ mod tests {
         };
         let json = report.to_json();
         for needle in [
-            "\"id\": \"BENCH_0006\"",
-            "\"schema\": 1",
+            "\"id\": \"BENCH_0007\"",
+            "\"schema\": 2",
+            "\"host\": {\"rustc\": \"rustc 1.0.0 (\\\"quoted\\\")\", \"wall_ns\": 1234567, \"entries\": 1},",
             "\"entries\": [",
             "\"group\": \"queue\"",
             "\"seeds_per_sec\": {",

@@ -8,6 +8,7 @@
 //! order, independent of worker count or scheduling**, so aggregates
 //! computed over them are identical for `--jobs 1` and `--jobs N`.
 
+use satin_obs::{CampaignObs, CellEvents, EventStream, ObsEvent};
 use satin_scenario::FaultPlan;
 use satin_system::System;
 use satin_telemetry::DurationHistogram;
@@ -58,22 +59,42 @@ impl CampaignRunner {
         T: Send,
         F: Fn(&I) -> T + Sync,
     {
+        self.run_with(items, |_, _, item| f(item))
+    }
+
+    /// [`run`](CampaignRunner::run) with scheduling context: `f` receives
+    /// `(worker index, item index, item)`. The worker index is a
+    /// scheduling accident — callers must only feed it to host-domain
+    /// observability (live events, utilization), never into anything that
+    /// shapes a result, or the jobs-invariance guarantee breaks.
+    pub fn run_with<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, usize, &I) -> T + Sync,
+    {
         if self.jobs <= 1 || items.len() <= 1 {
-            return items.iter().map(f).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(0, i, item))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let workers = self.jobs.min(items.len());
         let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let next = &next;
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let f = &f;
+                    scope.spawn(move || {
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
                             }
-                            out.push((i, f(&items[i])));
+                            out.push((i, f(w, i, &items[i])));
                         }
                         out
                     })
@@ -154,6 +175,128 @@ impl CampaignRunner {
                 }
             }
         })
+    }
+
+    /// [`run_seeds_with_retry`](CampaignRunner::run_seeds_with_retry) with
+    /// a campaign event stream: each cell logs its lifecycle
+    /// (worker-assigned, started, per-attempt, retried, salvaged,
+    /// finished) into a deterministic [`CellEvents`] buffer that `f` can
+    /// extend (e.g. with `cell.fault_armed`), and the merged
+    /// [`EventStream`] comes back alongside the outcomes.
+    ///
+    /// `label` names each cell (`scenario.cell_label(seed)` for grid
+    /// identity). The stream is assembled from the *returned* cell logs in
+    /// input order — never from live-channel arrival — so its JSONL form
+    /// is byte-identical for any worker count.
+    pub fn run_seeds_with_retry_observed<T, E, F, L>(
+        &self,
+        seeds: &[u64],
+        policy: RetryPolicy,
+        obs: &CampaignObs,
+        label: L,
+        f: F,
+    ) -> (Vec<SeedOutcome<T>>, EventStream)
+    where
+        T: Send,
+        E: fmt::Display,
+        F: Fn(u64, u32, &mut CellEvents) -> Result<T, E> + Sync,
+        L: Fn(u64) -> String + Sync,
+    {
+        let started = ObsEvent::CampaignStarted {
+            label: obs.label().to_string(),
+            cells: seeds.len(),
+        };
+        obs.live_send(None, &started);
+        let max = policy.max_attempts.max(1);
+        let cells = self.run_with(seeds, |worker, cell, &seed| {
+            let mut log = obs.begin_cell(worker, cell, seed);
+            log.emit(ObsEvent::CellStarted {
+                cell,
+                seed,
+                label: label(seed),
+            });
+            let mut attempt = 1u32;
+            let outcome = loop {
+                log.emit(ObsEvent::CellAttempt {
+                    cell,
+                    seed,
+                    attempt,
+                });
+                match f(seed, attempt, &mut log) {
+                    Ok(value) => {
+                        log.emit(ObsEvent::CellFinished {
+                            cell,
+                            seed,
+                            attempts: attempt,
+                        });
+                        break SeedOutcome::Ok {
+                            seed,
+                            attempts: attempt,
+                            value,
+                        };
+                    }
+                    Err(e) if attempt >= max => {
+                        let error = e.to_string();
+                        log.emit(ObsEvent::CellSalvaged {
+                            cell,
+                            seed,
+                            attempts: attempt,
+                            error: error.clone(),
+                        });
+                        break SeedOutcome::Failed {
+                            seed,
+                            attempts: attempt,
+                            error,
+                        };
+                    }
+                    Err(e) => {
+                        log.emit(ObsEvent::CellRetried {
+                            cell,
+                            seed,
+                            attempt,
+                            error: e.to_string(),
+                        });
+                        // Same bounded linear backoff as the unobserved path.
+                        let pause = policy
+                            .backoff
+                            .saturating_mul(attempt)
+                            .min(Duration::from_secs(1));
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                        attempt += 1;
+                    }
+                }
+            };
+            (outcome, log.into_events())
+        });
+
+        let mut stream = EventStream::new();
+        stream.push(started);
+        let mut outcomes = Vec::with_capacity(cells.len());
+        let (mut ok, mut failed, mut retries) = (0usize, 0usize, 0usize);
+        for (outcome, events) in cells {
+            retries += events
+                .iter()
+                .filter(|e| matches!(e, ObsEvent::CellRetried { .. }))
+                .count();
+            if outcome.is_failed() {
+                failed += 1;
+            } else {
+                ok += 1;
+            }
+            stream.extend_cells(vec![events]);
+            outcomes.push(outcome);
+        }
+        let finished = ObsEvent::CampaignFinished {
+            cells: outcomes.len(),
+            ok,
+            failed,
+            retries,
+        };
+        obs.live_send(None, &finished);
+        stream.push(finished);
+        (outcomes, stream)
     }
 }
 
@@ -503,6 +646,54 @@ mod tests {
     fn run_seeds_passes_seed_by_value() {
         let out = CampaignRunner::new(2).run_seeds(&[1, 2, 3, 4], |s| s * 10);
         assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn observed_stream_is_byte_identical_for_any_worker_count() {
+        let seeds = [1u64, 2, 3, 4, 5];
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        };
+        let run = |runner: &CampaignRunner| {
+            let obs = CampaignObs::new("retry-test");
+            runner.run_seeds_with_retry_observed(
+                &seeds,
+                policy,
+                &obs,
+                |s| format!("t/s{s}"),
+                |seed, attempt, log| {
+                    log.emit(ObsEvent::FaultArmed {
+                        cell: log.cell(),
+                        seed,
+                        fault: "fault.jitter".to_string(),
+                    });
+                    if seed == 5 {
+                        Err("doomed")
+                    } else if seed % 2 == 0 && attempt < 2 {
+                        Err("flaky")
+                    } else {
+                        Ok(seed * 10)
+                    }
+                },
+            )
+        };
+        let (serial_out, serial_stream) = run(&CampaignRunner::serial());
+        let (par_out, par_stream) = run(&CampaignRunner::new(4));
+        // The canonical stream carries no worker ids or host times, and is
+        // assembled from per-cell logs in input order — byte-identical.
+        assert_eq!(serial_out, par_out);
+        assert_eq!(serial_stream.to_jsonl(), par_stream.to_jsonl());
+        let jsonl = serial_stream.to_jsonl();
+        // Seeds 2 and 4 retried once each; seed 5 salvaged after 3 tries.
+        assert!(serial_out[4].is_failed());
+        assert_eq!(serial_out[4].attempts(), 3);
+        assert_eq!(jsonl.matches("\"event\":\"cell.retried\"").count(), 4);
+        assert_eq!(jsonl.matches("\"event\":\"cell.salvaged\"").count(), 1);
+        assert!(
+            jsonl.contains("\"cells\":5,\"ok\":4,\"failed\":1,\"retries\":4"),
+            "{jsonl}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   span [`Timeline`] and [`TraceLog`], exportable as Chrome `trace_event`
 //!   JSON via [`satin_telemetry::chrome_trace`] — the `--trace-out` file.
 
-use crate::runner::MetricsReport;
+use crate::runner::{MetricsReport, SeedOutcome};
 use satin_attack::{TzEvader, TzEvaderConfig};
 use satin_core::{Satin, SatinConfig};
 use satin_scenario::Scenario;
@@ -35,7 +35,14 @@ pub struct TelemetryReport {
     pub alarms: u64,
     /// Simulation events dispatched, summed.
     pub events_dispatched: u64,
-    /// The merged counters and distributions.
+    /// Retry attempts the salvaging runner spent across the fleet (0 for
+    /// fleets run without retry).
+    pub retries: u64,
+    /// Seeds whose every attempt failed and were salvaged as structured
+    /// `Failed` rows instead of killing the batch.
+    pub salvaged: u64,
+    /// The merged counters and distributions. Salvaged seeds contribute
+    /// nothing here — their partial simulations were discarded.
     pub metrics: MetricsReport,
 }
 
@@ -49,8 +56,57 @@ impl TelemetryReport {
             publications: merged.publications,
             alarms: merged.alarms,
             events_dispatched: merged.events_dispatched,
+            retries: 0,
+            salvaged: 0,
             metrics: merged,
         }
+    }
+
+    /// [`of`](TelemetryReport::of) over a salvaging-runner fleet: completed
+    /// seeds contribute their metrics (extracted by `metrics_of`), failed
+    /// seeds contribute only to the `salvaged` count, and every spent retry
+    /// is tallied. Outcome order is runner-guaranteed, so the report — and
+    /// its JSON — stays byte-identical for any `--jobs`.
+    pub fn of_salvaged<T>(
+        outcomes: &[SeedOutcome<T>],
+        metrics_of: impl Fn(&T) -> &MetricsReport,
+    ) -> Self {
+        let reports: Vec<MetricsReport> = outcomes
+            .iter()
+            .filter_map(|o| o.value().map(|v| metrics_of(v).clone()))
+            .collect();
+        let mut report = TelemetryReport::of(&reports);
+        report.campaigns = outcomes.len();
+        report.retries = outcomes
+            .iter()
+            .map(|o| u64::from(o.attempts().saturating_sub(1)))
+            .sum();
+        report.salvaged = outcomes.iter().filter(|o| o.is_failed()).count() as u64;
+        report
+    }
+
+    /// The injected-fault counters under their canonical stream names, in
+    /// fixed order. `fault.abort` is the count of campaign attempts an
+    /// injected abort (or any other structured failure) killed — aborts
+    /// discard the run, so unlike the other four they never reach the
+    /// injector's own stats.
+    pub fn fault_counters(&self) -> [(&'static str, u64); 5] {
+        [
+            (satin_faults::FAULT_JITTER, self.metrics.fault_jitter_spikes),
+            (
+                satin_faults::FAULT_DROPPED_PUB,
+                self.metrics.fault_publications_dropped,
+            ),
+            (
+                satin_faults::FAULT_DELAYED_PUB,
+                self.metrics.fault_publications_delayed,
+            ),
+            (
+                satin_faults::FAULT_CORRUPT_WINDOW,
+                self.metrics.fault_windows_corrupted,
+            ),
+            (satin_faults::FAULT_ABORT, self.retries + self.salvaged),
+        ]
     }
 
     /// Renders the report as a deterministic JSON document: fixed key
@@ -62,6 +118,14 @@ impl TelemetryReport {
         let _ = writeln!(out, "  \"publications\": {},", self.publications);
         let _ = writeln!(out, "  \"alarms\": {},", self.alarms);
         let _ = writeln!(out, "  \"events_dispatched\": {},", self.events_dispatched);
+        let _ = writeln!(out, "  \"retries\": {},", self.retries);
+        let _ = writeln!(out, "  \"salvaged\": {},", self.salvaged);
+        let faults: Vec<String> = self
+            .fault_counters()
+            .iter()
+            .map(|(name, n)| format!("\"{name}\": {n}"))
+            .collect();
+        let _ = writeln!(out, "  \"faults\": {{{}}},", faults.join(", "));
         let _ = writeln!(
             out,
             "  \"scans_completed\": {},",
@@ -269,6 +333,48 @@ mod tests {
         let again = run_traced_race(42, SimDuration::from_secs(5));
         assert_eq!(json, again.chrome_trace());
         assert_eq!(race.jsonl(), again.jsonl());
+    }
+
+    #[test]
+    fn salvaged_report_counts_retries_and_canonical_faults() {
+        let m = MetricsReport {
+            publications: 4,
+            fault_publications_dropped: 2,
+            fault_jitter_spikes: 1,
+            ..MetricsReport::default()
+        };
+        let outcomes: Vec<SeedOutcome<MetricsReport>> = vec![
+            SeedOutcome::Ok {
+                seed: 7,
+                attempts: 1,
+                value: m.clone(),
+            },
+            SeedOutcome::Failed {
+                seed: 42,
+                attempts: 2,
+                error: "worker abort".into(),
+            },
+            SeedOutcome::Ok {
+                seed: 1009,
+                attempts: 3,
+                value: m.clone(),
+            },
+        ];
+        let report = TelemetryReport::of_salvaged(&outcomes, |m| m);
+        assert_eq!(report.campaigns, 3);
+        assert_eq!(report.retries, 1 + 2);
+        assert_eq!(report.salvaged, 1);
+        // Only the completed seeds' metrics merge.
+        assert_eq!(report.publications, 8);
+        assert_eq!(report.metrics.fault_publications_dropped, 4);
+        let json = report.to_json();
+        assert!(json.contains("\"retries\": 3"), "{json}");
+        assert!(json.contains("\"salvaged\": 1"), "{json}");
+        assert!(json.contains("\"fault.dropped_pub\": 4"), "{json}");
+        assert!(json.contains("\"fault.jitter\": 2"), "{json}");
+        // Failed attempts — retried or salvaged — are the abort count.
+        assert!(json.contains("\"fault.abort\": 4"), "{json}");
+        assert!(json.contains("\"fault.corrupt_window\": 0"), "{json}");
     }
 
     #[test]

@@ -65,6 +65,17 @@ pub struct FaultStats {
     pub windows_corrupted: u64,
 }
 
+/// Canonical counter name for an injected scheduler-jitter spike.
+pub const FAULT_JITTER: &str = "fault.jitter";
+/// Canonical counter name for a dropped cross-core publication.
+pub const FAULT_DROPPED_PUB: &str = "fault.dropped_pub";
+/// Canonical counter name for a delayed cross-core publication.
+pub const FAULT_DELAYED_PUB: &str = "fault.delayed_pub";
+/// Canonical counter name for a corrupted hash window.
+pub const FAULT_CORRUPT_WINDOW: &str = "fault.corrupt_window";
+/// Canonical counter name for a scheduled worker abort.
+pub const FAULT_ABORT: &str = "fault.abort";
+
 impl FaultStats {
     /// Did any fault fire?
     pub fn any(&self) -> bool {
@@ -78,6 +89,50 @@ impl FaultStats {
             + self.publications_delayed
             + self.windows_corrupted
     }
+
+    /// The stats as `(canonical counter name, count)` pairs, in the fixed
+    /// name order shared by event streams and `--metrics-json` output.
+    /// Worker aborts are not counted here — they surface as campaign
+    /// errors, not injector stats.
+    pub fn counters(&self) -> [(&'static str, u64); 4] {
+        [
+            (FAULT_JITTER, self.jitter_spikes),
+            (FAULT_DROPPED_PUB, self.publications_dropped),
+            (FAULT_DELAYED_PUB, self.publications_delayed),
+            (FAULT_CORRUPT_WINDOW, self.windows_corrupted),
+        ]
+    }
+}
+
+/// The canonical names of the fault kinds `plan` arms for `(seed,
+/// attempt)`, in fixed declaration order — what a `cell.fault_armed`
+/// event stream reports before the attempt runs.
+///
+/// "Armed" means the spec exists and its seed filter matches; whether a
+/// fault actually *fires* still depends on simulated time reaching its
+/// schedule. The abort is additionally gated on the attempt being within
+/// its failing budget, mirroring [`FaultInjector::check_abort`].
+pub fn armed_kinds(plan: &FaultPlan, seed: u64, attempt: u32) -> Vec<&'static str> {
+    let mut kinds = Vec::new();
+    if plan.jitter.is_some_and(|s| s.seed.matches(seed)) {
+        kinds.push(FAULT_JITTER);
+    }
+    if plan.drop_publication.is_some_and(|s| s.seed.matches(seed)) {
+        kinds.push(FAULT_DROPPED_PUB);
+    }
+    if plan.delay_publication.is_some_and(|s| s.seed.matches(seed)) {
+        kinds.push(FAULT_DELAYED_PUB);
+    }
+    if plan.corrupt_window.is_some_and(|s| s.seed.matches(seed)) {
+        kinds.push(FAULT_CORRUPT_WINDOW);
+    }
+    if plan
+        .abort
+        .is_some_and(|s| s.seed.matches(seed) && attempt <= s.attempts)
+    {
+        kinds.push(FAULT_ABORT);
+    }
+    kinds
 }
 
 /// A [`FaultPlan`] armed for one `(seed, attempt)` run.
@@ -320,6 +375,59 @@ mod tests {
         assert!(second.check_abort(at(9)).is_err(), "attempt 2 still fails");
         let third = FaultInjector::new(plan, 7, 3);
         third.check_abort(at(9)).unwrap();
+    }
+
+    #[test]
+    fn armed_kinds_track_seed_filter_and_attempt_budget() {
+        assert!(armed_kinds(&FaultPlan::default(), 7, 1).is_empty());
+        // Smoke: drop on every seed; abort only on 42, every attempt.
+        let smoke = FaultPlan::smoke();
+        assert_eq!(armed_kinds(&smoke, 7, 1), vec![FAULT_DROPPED_PUB]);
+        assert_eq!(
+            armed_kinds(&smoke, 42, 2),
+            vec![FAULT_DROPPED_PUB, FAULT_ABORT]
+        );
+        // Chaos: everything armed on attempt 1; the abort (budget 1)
+        // stands down on the retry.
+        let chaos = FaultPlan::chaos();
+        assert_eq!(
+            armed_kinds(&chaos, 7, 1),
+            vec![
+                FAULT_JITTER,
+                FAULT_DROPPED_PUB,
+                FAULT_DELAYED_PUB,
+                FAULT_CORRUPT_WINDOW,
+                FAULT_ABORT
+            ]
+        );
+        assert_eq!(
+            armed_kinds(&chaos, 7, 2),
+            vec![
+                FAULT_JITTER,
+                FAULT_DROPPED_PUB,
+                FAULT_DELAYED_PUB,
+                FAULT_CORRUPT_WINDOW
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_counters_use_canonical_names() {
+        let stats = FaultStats {
+            jitter_spikes: 1,
+            publications_dropped: 2,
+            publications_delayed: 3,
+            windows_corrupted: 4,
+        };
+        assert_eq!(
+            stats.counters(),
+            [
+                ("fault.jitter", 1),
+                ("fault.dropped_pub", 2),
+                ("fault.delayed_pub", 3),
+                ("fault.corrupt_window", 4),
+            ]
+        );
     }
 
     #[test]

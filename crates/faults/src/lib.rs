@@ -42,4 +42,7 @@ pub mod error;
 pub mod inject;
 
 pub use error::SatinError;
-pub use inject::{FaultError, FaultInjector, FaultStats, PublicationFate};
+pub use inject::{
+    armed_kinds, FaultError, FaultInjector, FaultStats, PublicationFate, FAULT_ABORT,
+    FAULT_CORRUPT_WINDOW, FAULT_DELAYED_PUB, FAULT_DROPPED_PUB, FAULT_JITTER,
+};

@@ -1,0 +1,487 @@
+//! The bench trajectory: every committed `BENCH_*.json`, in order, with a
+//! delta table and a regression gate.
+//!
+//! `crates/bench/src/perf.rs` writes one snapshot per optimization PR
+//! (`BENCH_0006`, `BENCH_0007`, ...). Alone, each snapshot is a point; the
+//! trajectory is the line through them, and the gate is what stops the next
+//! PR from quietly giving back the seeds/sec win recorded by the last one.
+//!
+//! Two gating rules, applied to the latest snapshot against its
+//! predecessor:
+//!
+//! - the **speedup ratio** (`seeds_per_sec.speedup`, current vs baseline
+//!   cost model *on the same machine*) may not regress by more than the
+//!   tolerance — being a ratio, it transfers across machines;
+//! - the absolute **current_model seeds/sec** is additionally gated, but
+//!   only when both snapshots carry the same host fingerprint (the rustc
+//!   version string recorded since schema 2) — comparing absolute
+//!   nanoseconds measured on different machines proves nothing.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+
+/// One benchmark row within a snapshot: `group/name`, its unit, and the
+/// measured cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Stable row key, `"group/name"`.
+    pub key: String,
+    /// Work unit (`"op"`, `"byte"`, `"seed"`).
+    pub unit: String,
+    /// Median cost per unit, nanoseconds.
+    pub ns_per_unit: f64,
+}
+
+/// One parsed `BENCH_*.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Snapshot id (`"BENCH_0006"`).
+    pub id: String,
+    /// Snapshot schema version.
+    pub schema: u64,
+    /// `true` if recorded in quick mode (not gate-worthy).
+    pub quick: bool,
+    /// Host fingerprint — the rustc version string — recorded since
+    /// schema 2; `None` for older snapshots.
+    pub host: Option<String>,
+    /// Total bench wall-clock on the recording host, ns (schema ≥ 2).
+    pub wall_ns: Option<u64>,
+    /// Per-benchmark rows, in snapshot order.
+    pub rows: Vec<BenchRow>,
+    /// Modeled baseline campaign throughput, seeds/sec.
+    pub baseline_model: f64,
+    /// Modeled current campaign throughput, seeds/sec.
+    pub current_model: f64,
+    /// `current_model / baseline_model`, machine-normalized.
+    pub speedup: f64,
+}
+
+impl TrajectoryPoint {
+    /// Parses one snapshot document. `source` names the file for error
+    /// messages.
+    pub fn from_json_text(source: &str, text: &str) -> Result<TrajectoryPoint, String> {
+        let doc = Json::parse(text).map_err(|e| format!("{source}: {e}"))?;
+        let need = |field: &str| format!("{source}: missing or mistyped `{field}`");
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| need("id"))?
+            .to_string();
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| need("schema"))?;
+        let quick = doc
+            .get("quick")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| need("quick"))?;
+        let host = doc
+            .get("host")
+            .and_then(|h| h.get("rustc"))
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        let wall_ns = doc
+            .get("host")
+            .and_then(|h| h.get("wall_ns"))
+            .and_then(Json::as_u64);
+        let mut rows = Vec::new();
+        for e in doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| need("entries"))?
+        {
+            let group = e
+                .get("group")
+                .and_then(Json::as_str)
+                .ok_or_else(|| need("entries[].group"))?;
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| need("entries[].name"))?;
+            rows.push(BenchRow {
+                key: format!("{group}/{name}"),
+                unit: e
+                    .get("unit")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unit")
+                    .to_string(),
+                ns_per_unit: e
+                    .get("ns_per_unit")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| need("entries[].ns_per_unit"))?,
+            });
+        }
+        let sps = doc
+            .get("seeds_per_sec")
+            .ok_or_else(|| need("seeds_per_sec"))?;
+        let sps_field = |field: &str| {
+            sps.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{source}: missing or mistyped `seeds_per_sec.{field}`"))
+        };
+        Ok(TrajectoryPoint {
+            id,
+            schema,
+            quick,
+            host,
+            wall_ns,
+            rows,
+            baseline_model: sps_field("baseline_model")?,
+            current_model: sps_field("current_model")?,
+            speedup: sps_field("speedup")?,
+        })
+    }
+
+    fn row(&self, key: &str) -> Option<&BenchRow> {
+        self.rows.iter().find(|r| r.key == key)
+    }
+}
+
+/// The gate's decision about the latest snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateVerdict {
+    /// Fewer than two comparable snapshots: nothing to regress against.
+    SinglePoint,
+    /// Within tolerance; the detail names the comparison made.
+    Pass {
+        /// Human summary of the comparison.
+        detail: String,
+    },
+    /// Regression beyond tolerance; the detail names the offending metric.
+    Fail {
+        /// Human summary of the regression.
+        detail: String,
+    },
+}
+
+impl GateVerdict {
+    /// `true` for [`GateVerdict::Fail`].
+    pub fn is_fail(&self) -> bool {
+        matches!(self, GateVerdict::Fail { .. })
+    }
+}
+
+/// An ordered sequence of snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    /// Snapshots, sorted by id.
+    pub points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// Parses `(source name, document text)` pairs and sorts by snapshot
+    /// id (ids are zero-padded, so lexicographic order is history order).
+    pub fn from_texts(files: &[(String, String)]) -> Result<Trajectory, String> {
+        let mut points = Vec::with_capacity(files.len());
+        for (source, text) in files {
+            points.push(TrajectoryPoint::from_json_text(source, text)?);
+        }
+        points.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(Trajectory { points })
+    }
+
+    /// The latest and previous snapshots, when there are at least two.
+    fn latest_pair(&self) -> Option<(&TrajectoryPoint, &TrajectoryPoint)> {
+        match self.points.as_slice() {
+            [.., prev, cur] => Some((prev, cur)),
+            _ => None,
+        }
+    }
+
+    /// Renders the trajectory: a speedup history line, then a per-row delta
+    /// table of the latest snapshot against its predecessor.
+    pub fn delta_table(&self) -> String {
+        let mut out = String::new();
+        match self.points.as_slice() {
+            [] => {
+                let _ = writeln!(out, "bench trajectory: no snapshots found");
+                return out;
+            }
+            [only] => {
+                let _ = writeln!(
+                    out,
+                    "bench trajectory: 1 snapshot ({}) — speedup {:.2}x, nothing to compare yet",
+                    only.id, only.speedup
+                );
+                return out;
+            }
+            _ => {}
+        }
+        let _ = write!(out, "bench trajectory: {} snapshots —", self.points.len());
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i == 0 { ' ' } else { '→' };
+            let _ = write!(out, "{sep}{} {:.2}x ", p.id, p.speedup);
+        }
+        out.push('\n');
+        if let Some((prev, cur)) = self.latest_pair() {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>14} {:>14} {:>9}",
+                "metric", prev.id, cur.id, "delta"
+            );
+            for row in &cur.rows {
+                let label = format!("{} ns/{}", row.key, row.unit);
+                match prev.row(&row.key) {
+                    Some(p) => {
+                        let _ = writeln!(
+                            out,
+                            "{:<34} {:>14.4} {:>14.4} {:>9}",
+                            label,
+                            p.ns_per_unit,
+                            row.ns_per_unit,
+                            pct_delta(p.ns_per_unit, row.ns_per_unit)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "{:<34} {:>14} {:>14.4} {:>9}",
+                            label, "-", row.ns_per_unit, "new"
+                        );
+                    }
+                }
+            }
+            for (label, pv, cv) in [
+                (
+                    "seeds/sec baseline_model",
+                    prev.baseline_model,
+                    cur.baseline_model,
+                ),
+                (
+                    "seeds/sec current_model",
+                    prev.current_model,
+                    cur.current_model,
+                ),
+                ("speedup (current/baseline)", prev.speedup, cur.speedup),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{label:<34} {pv:>14.2} {cv:>14.2} {:>9}",
+                    pct_delta(pv, cv)
+                );
+            }
+            let hosts_comparable = match (&prev.host, &cur.host) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            };
+            if !hosts_comparable {
+                let _ = writeln!(
+                    out,
+                    "note: host fingerprints differ or are unrecorded — absolute \
+                     seeds/sec not gated, speedup ratio only"
+                );
+            }
+        }
+        out
+    }
+
+    /// Gates the latest snapshot against its predecessor: fail on a
+    /// speedup-ratio drop beyond `max_regress` (e.g. `0.20` for 20%), and —
+    /// when host fingerprints match — on an absolute `current_model`
+    /// seeds/sec drop beyond the same tolerance.
+    pub fn gate(&self, max_regress: f64) -> GateVerdict {
+        let Some((prev, cur)) = self.latest_pair() else {
+            return GateVerdict::SinglePoint;
+        };
+        let drop_frac = |was: f64, now: f64| {
+            if was > 0.0 {
+                (was - now) / was
+            } else {
+                0.0
+            }
+        };
+        let speedup_drop = drop_frac(prev.speedup, cur.speedup);
+        if speedup_drop > max_regress {
+            return GateVerdict::Fail {
+                detail: format!(
+                    "speedup regressed {:.1}% ({:.2}x in {} → {:.2}x in {}), tolerance {:.0}%",
+                    speedup_drop * 100.0,
+                    prev.speedup,
+                    prev.id,
+                    cur.speedup,
+                    cur.id,
+                    max_regress * 100.0
+                ),
+            };
+        }
+        let hosts_match = matches!((&prev.host, &cur.host), (Some(a), Some(b)) if a == b);
+        if hosts_match {
+            let model_drop = drop_frac(prev.current_model, cur.current_model);
+            if model_drop > max_regress {
+                return GateVerdict::Fail {
+                    detail: format!(
+                        "current_model seeds/sec regressed {:.1}% on the same host \
+                         ({:.2} in {} → {:.2} in {}), tolerance {:.0}%",
+                        model_drop * 100.0,
+                        prev.current_model,
+                        prev.id,
+                        cur.current_model,
+                        cur.id,
+                        max_regress * 100.0
+                    ),
+                };
+            }
+        }
+        GateVerdict::Pass {
+            detail: format!(
+                "speedup {:.2}x in {} vs {:.2}x in {} (Δ {:+.1}%, tolerance {:.0}%{})",
+                cur.speedup,
+                cur.id,
+                prev.speedup,
+                prev.id,
+                -speedup_drop * 100.0,
+                max_regress * 100.0,
+                if hosts_match {
+                    ", same host: absolute seeds/sec also gated"
+                } else {
+                    ", hosts differ: ratio only"
+                }
+            ),
+        }
+    }
+}
+
+/// `+x.x%` / `-x.x%` change from `was` to `now` (`"?"` if `was` is 0).
+fn pct_delta(was: f64, now: f64) -> String {
+    if was == 0.0 {
+        return "?".to_string();
+    }
+    format!("{:+.1}%", (now - was) / was * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(id: &str, speedup: f64, current: f64, host: Option<&str>) -> (String, String) {
+        let host_json = host
+            .map(|h| format!(r#""host": {{"rustc": "{h}", "wall_ns": 5, "entries": 1}},"#))
+            .unwrap_or_default();
+        (
+            format!("{id}.json"),
+            format!(
+                r#"{{
+                  "id": "{id}", "schema": {}, "quick": false, "seed": 42,
+                  {host_json}
+                  "entries": [
+                    {{"group": "queue", "name": "wheel_churn", "ns_per_unit": 79.28,
+                      "per_sec": 1.0, "unit": "op", "samples": 15}}
+                  ],
+                  "seeds_per_sec": {{
+                    "baseline_model": {:.2}, "current_model": {current:.2},
+                    "speedup": {speedup:.2}, "campaign_quick": 0.1
+                  }}
+                }}"#,
+                if host.is_some() { 2 } else { 1 },
+                current / speedup,
+            ),
+        )
+    }
+
+    #[test]
+    fn parses_committed_snapshot_fields() {
+        let (name, text) = snapshot("BENCH_0006", 17.73, 2743.51, None);
+        let p = TrajectoryPoint::from_json_text(&name, &text).expect("parse");
+        assert_eq!(p.id, "BENCH_0006");
+        assert_eq!(p.schema, 1);
+        assert_eq!(p.host, None);
+        assert_eq!(p.rows[0].key, "queue/wheel_churn");
+        assert!((p.speedup - 17.73).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema2_host_fields() {
+        let (name, text) = snapshot("BENCH_0007", 17.0, 2700.0, Some("rustc 1.95.0"));
+        let p = TrajectoryPoint::from_json_text(&name, &text).expect("parse");
+        assert_eq!(p.schema, 2);
+        assert_eq!(p.host.as_deref(), Some("rustc 1.95.0"));
+        assert_eq!(p.wall_ns, Some(5));
+    }
+
+    #[test]
+    fn single_point_is_not_gated() {
+        let t = Trajectory::from_texts(&[snapshot("BENCH_0006", 17.73, 2743.51, None)])
+            .expect("trajectory");
+        assert_eq!(t.gate(0.20), GateVerdict::SinglePoint);
+        assert!(t.delta_table().contains("nothing to compare"));
+    }
+
+    #[test]
+    fn small_regression_passes_big_one_fails() {
+        let ok = Trajectory::from_texts(&[
+            snapshot("BENCH_0006", 17.73, 2743.51, None),
+            snapshot("BENCH_0007", 15.00, 2500.00, None),
+        ])
+        .expect("trajectory");
+        assert!(!ok.gate(0.20).is_fail(), "15.00 vs 17.73 is a 15% drop");
+
+        let bad = Trajectory::from_texts(&[
+            snapshot("BENCH_0006", 17.73, 2743.51, None),
+            snapshot("BENCH_0007", 10.00, 2500.00, None),
+        ])
+        .expect("trajectory");
+        let verdict = bad.gate(0.20);
+        assert!(verdict.is_fail());
+        match verdict {
+            GateVerdict::Fail { detail } => assert!(detail.contains("speedup regressed")),
+            other => panic!("expected fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absolute_model_gated_only_on_matching_hosts() {
+        // Same ratio, big absolute drop, different hosts: pass.
+        let cross = Trajectory::from_texts(&[
+            snapshot("BENCH_0006", 17.0, 2700.0, Some("rustc 1.90.0")),
+            snapshot("BENCH_0007", 17.0, 1000.0, Some("rustc 1.95.0")),
+        ])
+        .expect("trajectory");
+        assert!(!cross.gate(0.20).is_fail());
+
+        // Same host: the absolute drop now fails.
+        let same = Trajectory::from_texts(&[
+            snapshot("BENCH_0006", 17.0, 2700.0, Some("rustc 1.95.0")),
+            snapshot("BENCH_0007", 17.0, 1000.0, Some("rustc 1.95.0")),
+        ])
+        .expect("trajectory");
+        let verdict = same.gate(0.20);
+        assert!(verdict.is_fail());
+        match verdict {
+            GateVerdict::Fail { detail } => assert!(detail.contains("same host")),
+            other => panic!("expected fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_table_lists_rows_and_models() {
+        let t = Trajectory::from_texts(&[
+            snapshot("BENCH_0006", 17.73, 2743.51, None),
+            snapshot("BENCH_0007", 18.00, 2800.00, Some("rustc 1.95.0")),
+        ])
+        .expect("trajectory");
+        let table = t.delta_table();
+        assert!(table.contains("queue/wheel_churn ns/op"));
+        assert!(table.contains("seeds/sec current_model"));
+        assert!(table.contains("speedup (current/baseline)"));
+        assert!(table.contains("hosts differ") || table.contains("host fingerprints differ"));
+    }
+
+    #[test]
+    fn points_sort_by_id() {
+        let t = Trajectory::from_texts(&[
+            snapshot("BENCH_0007", 18.0, 2800.0, None),
+            snapshot("BENCH_0006", 17.7, 2743.0, None),
+        ])
+        .expect("trajectory");
+        assert_eq!(t.points[0].id, "BENCH_0006");
+        assert_eq!(t.points[1].id, "BENCH_0007");
+    }
+
+    #[test]
+    fn parse_errors_name_the_source() {
+        let e = TrajectoryPoint::from_json_text("broken.json", "{").expect_err("must fail");
+        assert!(e.starts_with("broken.json:"));
+        let e = TrajectoryPoint::from_json_text("x.json", r#"{"schema": 1}"#).expect_err("no id");
+        assert!(e.contains("`id`"));
+    }
+}

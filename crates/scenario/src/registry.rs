@@ -155,6 +155,13 @@ mod tests {
     }
 
     #[test]
+    fn cell_label_is_scenario_qualified() {
+        assert_eq!(Scenario::paper().cell_label(42), "juno-r1/s42");
+        let little = builtin("all-little").expect("registered");
+        assert_eq!(little.cell_label(1009), "all-little/s1009");
+    }
+
+    #[test]
     fn lookup_by_name() {
         assert_eq!(builtin("juno-r1").map(|s| s.platform.cores.len()), Some(6));
         assert_eq!(

@@ -262,6 +262,15 @@ impl Scenario {
         Ok(())
     }
 
+    /// The grid-cell identity of one campaign of this scenario:
+    /// `"<scenario name>/s<seed>"` (e.g. `"juno-r1/s42"`). This is the
+    /// `label` carried by `cell.started` events, and — being a pure
+    /// function of scenario and seed — is identical for any `--jobs`
+    /// count.
+    pub fn cell_label(&self, seed: u64) -> String {
+        format!("{}/s{seed}", self.name)
+    }
+
     /// Renders the canonical text form: every section and key, in fixed
     /// order, floats in Rust's shortest round-trip notation. Parsing this
     /// text yields a `Scenario` equal to `self`.
